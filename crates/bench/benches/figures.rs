@@ -1,0 +1,80 @@
+//! Criterion wrappers exercising every table/figure driver end-to-end at
+//! miniature size, so `cargo bench` covers the full evaluation pipeline.
+//! Full-size regeneration lives in the `src/bin/` binaries
+//! (`cargo run --release -p rfc-bench --bin fig8` …).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use rfc_net::experiments::{fig11, fig12, fig5, fig6, fig7, simfig, table3, threshold};
+use rfc_net::scenarios::{equal_resources, Scale};
+use rfc_net::sim::{SimConfig, TrafficPattern};
+
+fn bench_structural_figures(c: &mut Criterion) {
+    c.bench_function("fig5_driver", |b| b.iter(|| fig5::report(36, 6)));
+    c.bench_function("fig6_driver", |b| {
+        b.iter(|| fig6::report(&[8, 16, 24, 32, 40, 48, 56, 64]))
+    });
+    c.bench_function("fig7_driver", |b| {
+        b.iter(|| fig7::report(36, &[1_000, 10_000, 100_000, 200_000]))
+    });
+}
+
+fn bench_monte_carlo_figures(c: &mut Criterion) {
+    let mut group = c.benchmark_group("monte_carlo");
+    group.sample_size(10);
+    group.bench_function("table3_T512", |b| {
+        let mut rng = StdRng::seed_from_u64(7);
+        b.iter(|| table3::report(&[512], 2, &mut rng));
+    });
+    group.bench_function("fig11_l2", |b| {
+        let mut rng = StdRng::seed_from_u64(8);
+        b.iter(|| fig11::report(8, &[2], 2, &mut rng));
+    });
+    group.bench_function("theorem42_n128", |b| {
+        let mut rng = StdRng::seed_from_u64(9);
+        b.iter(|| threshold::report(&[128], 2, &[0.0], 5, &mut rng));
+    });
+    group.finish();
+}
+
+fn bench_simulation_figures(c: &mut Criterion) {
+    let mut group = c.benchmark_group("sim_figures");
+    group.sample_size(10);
+    let mut rng = StdRng::seed_from_u64(10);
+    let scenario = equal_resources(Scale::Small, &mut rng).expect("scenario");
+    group.bench_function("fig8_one_point", |b| {
+        b.iter(|| {
+            simfig::run(
+                &scenario,
+                &[TrafficPattern::Uniform],
+                &[0.5],
+                SimConfig::quick(),
+                11,
+            )
+        });
+    });
+    group.bench_function("fig12_one_step", |b| {
+        let mut rng = StdRng::seed_from_u64(12);
+        b.iter(|| {
+            fig12::run(
+                &scenario,
+                &[TrafficPattern::Uniform],
+                1,
+                0.02,
+                SimConfig::quick(),
+                &mut rng,
+            )
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_structural_figures,
+    bench_monte_carlo_figures,
+    bench_simulation_figures
+);
+criterion_main!(benches);

@@ -1,0 +1,59 @@
+//! Criterion benches for topology generation: the Steger–Wormald
+//! generators (paper Listings 1 and 2, claimed O(N Δ ln Δ)) and the full
+//! topology constructors.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use rfc_net::graph::random::{random_bipartite, random_regular};
+use rfc_net::topology::FoldedClos;
+
+fn bench_random_regular(c: &mut Criterion) {
+    let mut group = c.benchmark_group("random_regular");
+    for &(n, d) in &[(256usize, 8usize), (1024, 8), (4096, 8), (1024, 16)] {
+        group.bench_with_input(
+            BenchmarkId::new("steger_wormald", format!("n{n}_d{d}")),
+            &(n, d),
+            |b, &(n, d)| {
+                let mut rng = StdRng::seed_from_u64(1);
+                b.iter(|| random_regular(n, d, &mut rng).expect("feasible"));
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_random_bipartite(c: &mut Criterion) {
+    let mut group = c.benchmark_group("random_bipartite");
+    for &n1 in &[256usize, 1024, 4096] {
+        group.bench_with_input(BenchmarkId::from_parameter(n1), &n1, |b, &n1| {
+            let mut rng = StdRng::seed_from_u64(2);
+            b.iter(|| random_bipartite(n1, 9, n1, 9, &mut rng).expect("feasible"));
+        });
+    }
+    group.finish();
+}
+
+fn bench_topology_constructors(c: &mut Criterion) {
+    let mut group = c.benchmark_group("constructors");
+    group.bench_function("rfc_radix18_n1_648_l3", |b| {
+        let mut rng = StdRng::seed_from_u64(3);
+        b.iter(|| FoldedClos::random(18, 648, 3, &mut rng).expect("feasible"));
+    });
+    group.bench_function("cft_radix36_l3", |b| {
+        b.iter(|| FoldedClos::cft(36, 3).expect("valid"));
+    });
+    group.bench_function("oft_q5_l2", |b| {
+        b.iter(|| FoldedClos::oft(5, 2).expect("valid"));
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_random_regular,
+    bench_random_bipartite,
+    bench_topology_constructors
+);
+criterion_main!(benches);

@@ -1,0 +1,48 @@
+//! Criterion benches for up/down routing: table construction (the cost
+//! paid per expansion or fault event) and per-hop ECMP queries (the
+//! simulator's inner loop).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use rfc_net::routing::RoutingOracle;
+use rfc_net::topology::FoldedClos;
+use rfc_net::UpDownRouting;
+
+fn bench_table_build(c: &mut Criterion) {
+    let mut group = c.benchmark_group("updown_build");
+    for &(radix, n1) in &[(12usize, 72usize), (18, 288), (36, 648)] {
+        let mut rng = StdRng::seed_from_u64(4);
+        let net = FoldedClos::random(radix, n1, 3, &mut rng).expect("feasible");
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("r{radix}_n{n1}")),
+            &net,
+            |b, net| b.iter(|| UpDownRouting::new(net)),
+        );
+    }
+    group.finish();
+}
+
+fn bench_next_hops(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(5);
+    let net = FoldedClos::random(36, 648, 3, &mut rng).expect("feasible");
+    let routing = UpDownRouting::new(&net);
+    let leaves = net.num_leaves() as u32;
+    c.bench_function("updown_next_hops_leaf", |b| {
+        let mut buf = Vec::new();
+        b.iter(|| {
+            let src = rng.gen_range(0..leaves);
+            let dst = rng.gen_range(0..leaves);
+            buf.clear();
+            routing.next_hops_into(src, dst, &mut buf);
+            buf.len()
+        });
+    });
+    c.bench_function("updown_property_check", |b| {
+        b.iter(|| routing.has_updown_property());
+    });
+}
+
+criterion_group!(benches, bench_table_build, bench_next_hops);
+criterion_main!(benches);

@@ -1,0 +1,48 @@
+//! Criterion benches for the cycle-level simulator: simulated cycles per
+//! wall-clock second on the equal-resources networks.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use rfc_net::sim::{SimConfig, SimNetwork, Simulation, TrafficPattern};
+use rfc_net::topology::FoldedClos;
+use rfc_net::UpDownRouting;
+
+fn bench_simulation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("simulate_2k_cycles");
+    group.sample_size(10);
+    let mut rng = StdRng::seed_from_u64(6);
+    let nets = vec![
+        ("cft(8,3)", FoldedClos::cft(8, 3).expect("valid")),
+        (
+            "rfc(8,32,3)",
+            FoldedClos::random(8, 32, 3, &mut rng).expect("feasible"),
+        ),
+    ];
+    let mut cfg = SimConfig::quick();
+    cfg.warmup_cycles = 500;
+    cfg.measure_cycles = 1_500;
+    for (name, clos) in &nets {
+        let routing = UpDownRouting::new(clos);
+        let sim_net = SimNetwork::from_folded_clos(clos);
+        let sim = Simulation::new(&sim_net, &routing, cfg);
+        for &load in &[0.3f64, 0.9] {
+            group.bench_with_input(
+                BenchmarkId::new(*name, format!("load{load}")),
+                &load,
+                |b, &load| {
+                    let mut seed = 0u64;
+                    b.iter(|| {
+                        seed += 1;
+                        sim.run(TrafficPattern::Uniform, load, seed)
+                    });
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_simulation);
+criterion_main!(benches);

@@ -1,0 +1,20 @@
+//! Regenerates Figure 10: the maximum-expansion scenario — the 3-level
+//! RFC at its Theorem 4.2 limit versus the 4-level CFT.
+
+use rfc_net::experiments::simfig;
+use rfc_net::sim::TrafficPattern;
+
+fn main() {
+    let mut rng = rfc_bench::rng();
+    let scenario = rfc_net::scenarios::maximum_expansion(rfc_bench::scale(), &mut rng)
+        .expect("scenario construction");
+    simfig::report(
+        &scenario,
+        &TrafficPattern::ALL,
+        &simfig::default_loads(),
+        rfc_bench::sim_config(),
+        rfc_bench::seed(),
+        &format!("fig10-maximum-{}", rfc_bench::scale()),
+    )
+    .emit();
+}

@@ -1,0 +1,7 @@
+//! Regenerates Figure 6: scalability (compute nodes versus switch radix
+//! for 2-, 3- and 4-level networks).
+
+fn main() {
+    let radices: Vec<usize> = (4..=64).step_by(4).collect();
+    rfc_net::experiments::fig6::report(&radices).emit();
+}

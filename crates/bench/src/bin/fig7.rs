@@ -1,0 +1,8 @@
+//! Regenerates Figure 7: expandability — total system ports versus
+//! compute nodes at radix 36.
+
+use rfc_net::experiments::fig7;
+
+fn main() {
+    fig7::report(36, &fig7::default_grid()).emit();
+}

@@ -1,0 +1,21 @@
+//! Regenerates Figure 8: latency and throughput of the equal-resources
+//! CFT and RFC (plus the reduced-radix RFC) under the three synthetic
+//! traffic patterns.
+
+use rfc_net::experiments::simfig;
+use rfc_net::sim::TrafficPattern;
+
+fn main() {
+    let mut rng = rfc_bench::rng();
+    let scenario = rfc_net::scenarios::equal_resources(rfc_bench::scale(), &mut rng)
+        .expect("scenario construction");
+    simfig::report(
+        &scenario,
+        &TrafficPattern::ALL,
+        &simfig::default_loads(),
+        rfc_bench::sim_config(),
+        rfc_bench::seed(),
+        &format!("fig8-equal-resources-{}", rfc_bench::scale()),
+    )
+    .emit();
+}

@@ -1,0 +1,78 @@
+//! Shared plumbing for the figure/table regeneration binaries.
+//!
+//! Every binary under `src/bin/` regenerates one table or figure of the
+//! paper (see `DESIGN.md` for the index) by calling the drivers in
+//! [`rfc_net::experiments`], printing the rows and mirroring a CSV under
+//! `target/experiments/`.
+//!
+//! Environment knobs shared by all binaries:
+//!
+//! * `RFC_SCALE` = `small` | `medium` (default) | `paper` — experiment
+//!   scale (see [`rfc_net::scenarios::Scale`]). Paper scale makes the
+//!   simulation figures take hours; structural figures are fine.
+//! * `RFC_SEED` — RNG seed (default 2017, the paper's year).
+//! * `RFC_TRIALS` — trial count for the Monte-Carlo experiments
+//!   (Table 3, Figure 11; default depends on the binary).
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+pub use rfc_net::scenarios::Scale;
+
+/// The seed used by every driver unless `RFC_SEED` overrides it.
+pub const DEFAULT_SEED: u64 = 2017;
+
+/// Reads the shared seed knob.
+pub fn seed() -> u64 {
+    std::env::var("RFC_SEED")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(DEFAULT_SEED)
+}
+
+/// A seeded RNG for a driver.
+pub fn rng() -> StdRng {
+    StdRng::seed_from_u64(seed())
+}
+
+/// Reads the trial-count knob with a per-binary default.
+pub fn trials(default: usize) -> usize {
+    std::env::var("RFC_TRIALS")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(default)
+}
+
+/// Reads the scale knob.
+pub fn scale() -> Scale {
+    Scale::from_env()
+}
+
+/// Simulation cycle counts per scale: quick at small scale, a trimmed
+/// window (3k warmup + 6k measured) at medium so a full figure sweep
+/// stays in the tens of minutes, and the paper's exact Table 2 window
+/// (5k + 10k) at paper scale.
+pub fn sim_config() -> rfc_net::sim::SimConfig {
+    let mut cfg = rfc_net::sim::SimConfig::paper_defaults();
+    match scale() {
+        Scale::Small => cfg = rfc_net::sim::SimConfig::quick(),
+        Scale::Medium => {
+            cfg.warmup_cycles = 3_000;
+            cfg.measure_cycles = 6_000;
+        }
+        Scale::Paper => {}
+    }
+    cfg
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn knobs_have_defaults() {
+        assert_eq!(trials(42), 42);
+        assert!(seed() > 0);
+        let _ = sim_config();
+    }
+}

@@ -1,0 +1,111 @@
+//! Minimal `--key value` argument parsing (no external dependencies).
+
+use std::collections::BTreeMap;
+
+use crate::CliError;
+
+/// Parsed `--key value` pairs.
+#[derive(Debug, Clone, Default)]
+pub struct Parsed {
+    flags: BTreeMap<String, String>,
+}
+
+impl Parsed {
+    /// Parses `--key value` pairs; rejects positional arguments and
+    /// dangling flags.
+    ///
+    /// # Errors
+    ///
+    /// [`CliError::Usage`] on malformed input.
+    pub fn parse(argv: &[String]) -> Result<Self, CliError> {
+        let mut flags = BTreeMap::new();
+        let mut it = argv.iter();
+        while let Some(token) = it.next() {
+            let Some(key) = token.strip_prefix("--") else {
+                return Err(CliError::Usage(format!(
+                    "unexpected positional argument `{token}`"
+                )));
+            };
+            let Some(value) = it.next() else {
+                return Err(CliError::Usage(format!(
+                    "flag --{key} is missing its value"
+                )));
+            };
+            flags.insert(key.to_string(), value.clone());
+        }
+        Ok(Self { flags })
+    }
+
+    /// Raw string flag.
+    pub fn str(&self, key: &str, default: &str) -> String {
+        self.flags
+            .get(key)
+            .cloned()
+            .unwrap_or_else(|| default.to_string())
+    }
+
+    /// Optional raw string flag.
+    pub fn opt_str(&self, key: &str) -> Option<&str> {
+        self.flags.get(key).map(String::as_str)
+    }
+
+    /// Parsed numeric flag with default.
+    ///
+    /// # Errors
+    ///
+    /// [`CliError::Usage`] when the value does not parse.
+    pub fn num<T: std::str::FromStr>(&self, key: &str, default: T) -> Result<T, CliError> {
+        match self.flags.get(key) {
+            None => Ok(default),
+            Some(raw) => raw
+                .parse()
+                .map_err(|_| CliError::Usage(format!("--{key}: cannot parse `{raw}`"))),
+        }
+    }
+
+    /// Optional parsed numeric flag.
+    ///
+    /// # Errors
+    ///
+    /// [`CliError::Usage`] when the value does not parse.
+    pub fn opt_num<T: std::str::FromStr>(&self, key: &str) -> Result<Option<T>, CliError> {
+        match self.flags.get(key) {
+            None => Ok(None),
+            Some(raw) => raw
+                .parse()
+                .map(Some)
+                .map_err(|_| CliError::Usage(format!("--{key}: cannot parse `{raw}`"))),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(tokens: &[&str]) -> Result<Parsed, CliError> {
+        Parsed::parse(&tokens.iter().map(|s| s.to_string()).collect::<Vec<_>>())
+    }
+
+    #[test]
+    fn parses_pairs() {
+        let p = parse(&["--radix", "12", "--kind", "rfc"]).unwrap();
+        assert_eq!(p.num::<usize>("radix", 0).unwrap(), 12);
+        assert_eq!(p.str("kind", "x"), "rfc");
+        assert_eq!(p.str("missing", "fallback"), "fallback");
+        assert_eq!(p.opt_num::<u64>("seed").unwrap(), None);
+    }
+
+    #[test]
+    fn rejects_positionals_and_dangling_flags() {
+        assert!(parse(&["stray"]).is_err());
+        assert!(parse(&["--radix"]).is_err());
+    }
+
+    #[test]
+    fn rejects_unparsable_numbers() {
+        let p = parse(&["--radix", "twelve"]).unwrap();
+        assert!(p.num::<usize>("radix", 0).is_err());
+        assert!(p.opt_num::<usize>("radix").is_err());
+    }
+}

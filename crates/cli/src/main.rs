@@ -1,0 +1,13 @@
+//! `rfcgen` binary entry point; all logic lives in the library half.
+
+fn main() {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let mut stdout = std::io::stdout().lock();
+    if let Err(e) = rfcgen::run(&argv, &mut stdout) {
+        eprintln!("rfcgen: {e}");
+        std::process::exit(match e {
+            rfcgen::CliError::Usage(_) => 2,
+            rfcgen::CliError::Operation(_) => 1,
+        });
+    }
+}

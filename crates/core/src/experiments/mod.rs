@@ -1,0 +1,32 @@
+//! Drivers regenerating every table and figure of the paper's
+//! evaluation.
+//!
+//! Each submodule exposes a `report(...)` returning a
+//! [`crate::report::Report`] with the same rows/series the paper plots;
+//! the `rfc-bench` binaries print them and mirror CSVs under
+//! `target/experiments/`.
+//!
+//! | module | reproduces |
+//! |--------|------------|
+//! | [`fig5`] | Figure 5 — diameter vs size at radix 36 |
+//! | [`fig6`] | Figure 6 — scalability (terminals vs radix, levels 2–4) |
+//! | [`fig7`] | Figure 7 — expandability (ports vs terminals) |
+//! | [`table3`] | Table 3 — faults to disconnect diameter-4 networks |
+//! | [`simfig`] | Figures 8–10 — latency/throughput under the three traffics |
+//! | [`fig11`] | Figure 11 — fault tolerance preserving up/down routing |
+//! | [`fig12`] | Figure 12 — throughput under faults |
+//! | [`threshold`] | Theorem 4.2 — empirical up/down probability vs e^(−e^(−x)) |
+//! | [`bisection`] | Section 4.2 — empirical bisection bracket vs the analytic bounds |
+//! | [`ablation`] | design-choice ablations (request mode, VCs/buffers, stage independence) |
+
+pub mod ablation;
+pub mod bisection;
+pub mod diversity;
+pub mod fig11;
+pub mod fig12;
+pub mod fig5;
+pub mod fig6;
+pub mod fig7;
+pub mod simfig;
+pub mod table3;
+pub mod threshold;

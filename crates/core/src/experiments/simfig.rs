@@ -1,0 +1,179 @@
+//! Figures 8–10 — simulated latency and throughput of a scenario's
+//! networks under the three synthetic traffic patterns.
+//!
+//! Figure 8 uses the equal-resources scenario, Figure 9 the intermediate
+//! expansion, Figure 10 the maximum expansion
+//! (see [`crate::scenarios`]).
+
+use rfc_routing::UpDownRouting;
+use rfc_sim::{SimConfig, SimNetwork, Simulation, TrafficPattern};
+
+use crate::report::{f3, Report};
+use crate::scenarios::Scenario;
+
+/// One measured point of a latency/throughput curve.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SimPoint {
+    /// Network label.
+    pub net: String,
+    /// Traffic pattern.
+    pub pattern: TrafficPattern,
+    /// Offered load (phits/node/cycle).
+    pub offered: f64,
+    /// Accepted load (phits/node/cycle).
+    pub accepted: f64,
+    /// Mean packet latency (cycles); NaN when nothing was delivered.
+    pub latency: f64,
+    /// 99th-percentile packet latency (cycles).
+    pub latency_p99: f64,
+}
+
+/// The default offered-load grid (paper plots 0–1 normalized load).
+pub fn default_loads() -> Vec<f64> {
+    (1..=10).map(|i| i as f64 / 10.0).collect()
+}
+
+/// Simulates every network of `scenario` under `patterns` across
+/// `loads`.
+pub fn run(
+    scenario: &Scenario,
+    patterns: &[TrafficPattern],
+    loads: &[f64],
+    config: SimConfig,
+    seed: u64,
+) -> Vec<SimPoint> {
+    let mut points = Vec::new();
+    for (ni, snet) in scenario.nets.iter().enumerate() {
+        let routing = UpDownRouting::new(&snet.clos);
+        let sim_net = if snet.terminals == snet.clos.num_terminals() {
+            SimNetwork::from_folded_clos(&snet.clos)
+        } else {
+            SimNetwork::from_folded_clos_populated(&snet.clos, snet.terminals)
+        };
+        let sim = Simulation::new(&sim_net, &routing, config);
+        for (pi, &pattern) in patterns.iter().enumerate() {
+            for (li, &load) in loads.iter().enumerate() {
+                let run_seed = seed
+                    .wrapping_add(ni as u64 * 1_000_003)
+                    .wrapping_add(pi as u64 * 10_007)
+                    .wrapping_add(li as u64);
+                let r = sim.run(pattern, load, run_seed);
+                points.push(SimPoint {
+                    net: snet.label.clone(),
+                    pattern,
+                    offered: load,
+                    accepted: r.accepted_load,
+                    latency: r.avg_latency,
+                    latency_p99: r.latency_p99,
+                });
+            }
+        }
+    }
+    points
+}
+
+/// Renders the scenario's curves.
+pub fn report(
+    scenario: &Scenario,
+    patterns: &[TrafficPattern],
+    loads: &[f64],
+    config: SimConfig,
+    seed: u64,
+    title: &str,
+) -> Report {
+    let mut rep = Report::new(
+        title,
+        &[
+            "network",
+            "traffic",
+            "offered",
+            "accepted",
+            "latency_cycles",
+            "latency_p99",
+        ],
+    );
+    for p in run(scenario, patterns, loads, config, seed) {
+        rep.push_row(vec![
+            p.net,
+            p.pattern.to_string(),
+            f3(p.offered),
+            f3(p.accepted),
+            if p.latency.is_nan() {
+                "-".into()
+            } else {
+                f3(p.latency)
+            },
+            if p.latency_p99.is_nan() {
+                "-".into()
+            } else {
+                f3(p.latency_p99)
+            },
+        ]);
+    }
+    rep
+}
+
+/// Saturation throughput of one network/pattern (the knee the paper's
+/// throughput panels flatten to).
+pub fn saturation(points: &[SimPoint], net: &str, pattern: TrafficPattern) -> f64 {
+    points
+        .iter()
+        .filter(|p| p.net == net && p.pattern == pattern)
+        .map(|p| p.accepted)
+        .fold(0.0, f64::max)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scenarios::{equal_resources, Scale};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn equal_resources_small_uniform_behaves_like_figure_8() {
+        let mut rng = StdRng::seed_from_u64(8);
+        let scenario = equal_resources(Scale::Small, &mut rng).unwrap();
+        let mut cfg = SimConfig::quick();
+        cfg.warmup_cycles = 500;
+        cfg.measure_cycles = 2_000;
+        let points = run(
+            &scenario,
+            &[TrafficPattern::Uniform],
+            &[0.3, 0.8, 1.0],
+            cfg,
+            77,
+        );
+        // Both topologies accept moderate uniform loads in full.
+        for p in points.iter().filter(|p| p.offered <= 0.31) {
+            assert!(
+                (p.accepted - p.offered).abs() < 0.05,
+                "{} at {} accepted {}",
+                p.net,
+                p.offered,
+                p.accepted
+            );
+        }
+        // Under uniform traffic the two have comparable saturation
+        // (paper: "almost the same performance").
+        let cft = saturation(&points, &scenario.nets[0].label, TrafficPattern::Uniform);
+        let rfc = saturation(&points, &scenario.nets[1].label, TrafficPattern::Uniform);
+        assert!((cft - rfc).abs() < 0.25, "cft {cft} vs rfc {rfc}");
+        assert!(cft > 0.5 && rfc > 0.5);
+    }
+
+    #[test]
+    fn report_renders_every_point() {
+        let mut rng = StdRng::seed_from_u64(9);
+        let scenario = equal_resources(Scale::Small, &mut rng).unwrap();
+        let rep = report(
+            &scenario,
+            &[TrafficPattern::FixedRandom],
+            &[0.2],
+            SimConfig::quick(),
+            1,
+            "fig8-test",
+        );
+        assert_eq!(rep.rows.len(), scenario.nets.len());
+    }
+}

@@ -1,0 +1,145 @@
+//! Plain-text table and CSV output for the experiment drivers.
+//!
+//! The bench harness prints each figure/table as an aligned text table
+//! (the rows the paper reports) and mirrors it to a CSV file under
+//! `target/experiments/` so results can be re-plotted.
+
+use std::fs;
+use std::io::Write as _;
+use std::path::{Path, PathBuf};
+
+/// A rectangular report: header plus rows of stringified cells.
+#[derive(Debug, Clone, Default)]
+pub struct Report {
+    /// Report title (used as the CSV file stem).
+    pub title: String,
+    /// Column names.
+    pub header: Vec<String>,
+    /// Data rows; each must match the header length.
+    pub rows: Vec<Vec<String>>,
+}
+
+impl Report {
+    /// Creates an empty report.
+    pub fn new(title: impl Into<String>, header: &[&str]) -> Self {
+        Self {
+            title: title.into(),
+            header: header.iter().map(|s| s.to_string()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends a row.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the row length differs from the header length.
+    pub fn push_row(&mut self, row: Vec<String>) {
+        assert_eq!(row.len(), self.header.len(), "row/header length mismatch");
+        self.rows.push(row);
+    }
+
+    /// Renders an aligned text table.
+    pub fn to_text(&self) -> String {
+        let mut widths: Vec<usize> = self.header.iter().map(String::len).collect();
+        for row in &self.rows {
+            for (w, cell) in widths.iter_mut().zip(row) {
+                *w = (*w).max(cell.len());
+            }
+        }
+        let mut out = String::new();
+        out.push_str(&format!("# {}\n", self.title));
+        let fmt_row = |cells: &[String], widths: &[usize]| -> String {
+            let mut line = String::new();
+            for (cell, w) in cells.iter().zip(widths) {
+                line.push_str(&format!("{cell:>w$}  ", w = w));
+            }
+            line.trim_end().to_string()
+        };
+        out.push_str(&fmt_row(&self.header, &widths));
+        out.push('\n');
+        out.push_str(&"-".repeat(widths.iter().sum::<usize>() + 2 * widths.len()));
+        out.push('\n');
+        for row in &self.rows {
+            out.push_str(&fmt_row(row, &widths));
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Writes `<dir>/<title>.csv`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O errors.
+    pub fn write_csv(&self, dir: &Path) -> std::io::Result<PathBuf> {
+        fs::create_dir_all(dir)?;
+        let path = dir.join(format!("{}.csv", self.title));
+        let mut f = fs::File::create(&path)?;
+        writeln!(f, "{}", self.header.join(","))?;
+        for row in &self.rows {
+            writeln!(f, "{}", row.join(","))?;
+        }
+        Ok(path)
+    }
+
+    /// Prints the text table to stdout and writes the CSV next to the
+    /// build artifacts (`target/experiments/`), reporting where.
+    pub fn emit(&self) {
+        print!("{}", self.to_text());
+        let dir = Path::new("target").join("experiments");
+        match self.write_csv(&dir) {
+            Ok(path) => println!("[csv] {}\n", path.display()),
+            Err(e) => println!("[csv] write failed: {e}\n"),
+        }
+    }
+}
+
+/// Formats a float with 3 decimals for table cells.
+pub fn f3(x: f64) -> String {
+    format!("{x:.3}")
+}
+
+/// Formats a percentage with 1 decimal.
+pub fn pct(x: f64) -> String {
+    format!("{:.1}%", 100.0 * x)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn text_table_is_aligned_and_complete() {
+        let mut r = Report::new("demo", &["name", "value"]);
+        r.push_row(vec!["a".into(), "1".into()]);
+        r.push_row(vec!["long-name".into(), "2.5".into()]);
+        let text = r.to_text();
+        assert!(text.contains("# demo"));
+        assert!(text.contains("long-name"));
+        assert_eq!(text.lines().count(), 5);
+    }
+
+    #[test]
+    #[should_panic(expected = "mismatch")]
+    fn mismatched_row_panics() {
+        let mut r = Report::new("demo", &["a", "b"]);
+        r.push_row(vec!["only-one".into()]);
+    }
+
+    #[test]
+    fn csv_round_trip() {
+        let mut r = Report::new("csv-demo", &["x", "y"]);
+        r.push_row(vec!["1".into(), "2".into()]);
+        let dir = std::env::temp_dir().join("rfc-net-report-test");
+        let path = r.write_csv(&dir).unwrap();
+        let content = std::fs::read_to_string(path).unwrap();
+        assert_eq!(content, "x,y\n1,2\n");
+    }
+
+    #[test]
+    fn formatters() {
+        assert_eq!(f3(1.23456), "1.235");
+        assert_eq!(pct(0.456), "45.6%");
+    }
+}

@@ -1,0 +1,57 @@
+//! Error type for random graph generation.
+
+use std::error::Error;
+use std::fmt;
+
+/// Error returned by the generators in [`crate::random`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum GenerationError {
+    /// The requested parameters cannot produce any simple graph
+    /// (e.g. odd `n * d`, `d >= n`, or mismatched bipartite point counts).
+    InfeasibleParameters {
+        /// Human-readable description of the violated constraint.
+        reason: String,
+    },
+    /// The pairing process failed to complete within the allowed number of
+    /// restarts. For feasible parameters this is astronomically unlikely;
+    /// it guards against callers asking for near-complete graphs where the
+    /// rejection step almost always triggers.
+    RestartLimitExceeded {
+        /// Number of restarts attempted before giving up.
+        restarts: usize,
+    },
+}
+
+impl fmt::Display for GenerationError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            GenerationError::InfeasibleParameters { reason } => {
+                write!(f, "infeasible generation parameters: {reason}")
+            }
+            GenerationError::RestartLimitExceeded { restarts } => {
+                write!(
+                    f,
+                    "random pairing did not complete after {restarts} restarts"
+                )
+            }
+        }
+    }
+}
+
+impl Error for GenerationError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_mentions_reason() {
+        let e = GenerationError::InfeasibleParameters {
+            reason: "d >= n".into(),
+        };
+        assert!(e.to_string().contains("d >= n"));
+        let e = GenerationError::RestartLimitExceeded { restarts: 7 };
+        assert!(e.to_string().contains('7'));
+    }
+}

@@ -1,0 +1,51 @@
+//! Graph substrate for the Random Folded Clos (RFC) reproduction.
+//!
+//! This crate provides the graph data structures and algorithms that every
+//! other crate in the workspace builds on:
+//!
+//! * [`Csr`] — a compact, immutable adjacency structure for undirected
+//!   graphs (compressed sparse row).
+//! * [`traversal`] — breadth-first search, eccentricity, exact and sampled
+//!   diameter, and average-distance estimation.
+//! * [`connectivity`] — union-find, connected components, and the
+//!   random-link-removal disconnection threshold used by Table 3 of the
+//!   paper.
+//! * [`random`] — Steger–Wormald pairing-model generation of random regular
+//!   graphs and random semiregular bipartite graphs (the paper's Listings 1
+//!   and 2).
+//! * [`BitSet`] — a fixed-width bit set used by the routing crate to store
+//!   per-switch reachability sets.
+//!
+//! # Examples
+//!
+//! Generate a random 4-regular graph on 16 vertices (the paper's Figure 3)
+//! and compute its diameter:
+//!
+//! ```
+//! use rand::SeedableRng;
+//! use rfc_graph::{random::random_regular, traversal::diameter, Csr};
+//!
+//! # fn main() -> Result<(), rfc_graph::GenerationError> {
+//! let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+//! let adj = random_regular(16, 4, &mut rng)?;
+//! let graph = Csr::from_adjacency(&adj);
+//! assert!(diameter(&graph).unwrap() <= 4);
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod bisection;
+mod bitset;
+pub mod connectivity;
+mod csr;
+mod error;
+pub mod random;
+pub mod traversal;
+
+pub use bitset::BitSet;
+pub use connectivity::DisjointSets;
+pub use csr::Csr;
+pub use error::GenerationError;

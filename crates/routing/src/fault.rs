@@ -1,0 +1,146 @@
+//! Fault tolerance of the up/down routing property (the paper's
+//! Figure 11).
+//!
+//! The experiment: remove inter-switch links one by one in a uniformly
+//! random order and record the largest removal count after which every
+//! leaf pair still shares a common ancestor. Networks sized exactly at
+//! the Theorem 4.2 threshold tolerate almost nothing; a slack radix
+//! (positive `x`) buys tolerance — scalability traded for
+//! fault-tolerance.
+
+use rand::seq::SliceRandom;
+use rand::Rng;
+
+use rfc_topology::{FoldedClos, Link};
+
+use crate::UpDownRouting;
+
+/// Result of one random-removal tolerance trial.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ToleranceTrial {
+    /// Largest number of removed links for which the up/down property
+    /// still held (0 when the intact network already lacks it … `total`
+    /// when it survives every removal).
+    pub tolerated: usize,
+    /// Total inter-switch links in the intact network.
+    pub total_links: usize,
+}
+
+impl ToleranceTrial {
+    /// Tolerated removals as a fraction of all links.
+    pub fn fraction(&self) -> f64 {
+        if self.total_links == 0 {
+            return 0.0;
+        }
+        self.tolerated as f64 / self.total_links as f64
+    }
+}
+
+/// Runs one tolerance trial: shuffles the link list and binary-searches
+/// the largest removal prefix preserving the up/down property (which is
+/// monotone in the removal prefix).
+pub fn updown_tolerance_trial<R: Rng + ?Sized>(clos: &FoldedClos, rng: &mut R) -> ToleranceTrial {
+    let mut links: Vec<Link> = clos.links();
+    let total = links.len();
+    links.shuffle(rng);
+    if !UpDownRouting::new(clos).has_updown_property() {
+        return ToleranceTrial {
+            tolerated: 0,
+            total_links: total,
+        };
+    }
+    // property(k) = up/down holds with the first k links removed.
+    // property(0) = true; find the largest k with property(k).
+    let holds = |k: usize| -> bool {
+        let faulty = clos.with_links_removed(&links[..k]);
+        UpDownRouting::new(&faulty).has_updown_property()
+    };
+    if holds(total) {
+        return ToleranceTrial {
+            tolerated: total,
+            total_links: total,
+        };
+    }
+    let (mut lo, mut hi) = (0usize, total); // holds(lo), !holds(hi)
+    while hi - lo > 1 {
+        let mid = (lo + hi) / 2;
+        if holds(mid) {
+            lo = mid;
+        } else {
+            hi = mid;
+        }
+    }
+    ToleranceTrial {
+        tolerated: lo,
+        total_links: total,
+    }
+}
+
+/// Mean tolerated fraction over `trials` random removal orders.
+pub fn mean_updown_tolerance<R: Rng + ?Sized>(
+    clos: &FoldedClos,
+    trials: usize,
+    rng: &mut R,
+) -> f64 {
+    if trials == 0 {
+        return 0.0;
+    }
+    let mut acc = 0.0;
+    for _ in 0..trials {
+        acc += updown_tolerance_trial(clos, rng).fraction();
+    }
+    acc / trials as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn cft_tolerates_some_faults() {
+        // CFT(8, 3) has 4 ECMP ancestors per leaf pair; a single removal
+        // never kills the property, so tolerance is strictly positive.
+        let net = FoldedClos::cft(8, 3).unwrap();
+        let mut rng = StdRng::seed_from_u64(1);
+        let t = updown_tolerance_trial(&net, &mut rng);
+        assert!(t.tolerated >= 1);
+        assert!(t.tolerated < t.total_links);
+        assert!(t.fraction() > 0.0 && t.fraction() < 1.0);
+    }
+
+    #[test]
+    fn two_level_oft_has_zero_tolerance() {
+        // Up/down paths are unique in the 2-level OFT: the first removed
+        // link disconnects some pair, as the paper observes.
+        let net = FoldedClos::oft(3, 2).unwrap();
+        let mut rng = StdRng::seed_from_u64(2);
+        let t = updown_tolerance_trial(&net, &mut rng);
+        assert_eq!(t.tolerated, 0);
+    }
+
+    #[test]
+    fn oversized_rfc_beats_threshold_rfc() {
+        // Same leaf count, one RFC at a generous radix and one at a tight
+        // radix: the generous one must tolerate more faults on average.
+        let mut rng = StdRng::seed_from_u64(3);
+        let generous = FoldedClos::random(16, 32, 2, &mut rng).unwrap();
+        let tight = FoldedClos::random(6, 32, 2, &mut rng).unwrap();
+        let g = mean_updown_tolerance(&generous, 5, &mut rng);
+        let t = mean_updown_tolerance(&tight, 5, &mut rng);
+        assert!(g > t, "generous {g} vs tight {t}");
+    }
+
+    #[test]
+    fn already_broken_network_reports_zero() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let net = FoldedClos::random(4, 64, 2, &mut rng).unwrap();
+        let t = updown_tolerance_trial(&net, &mut rng);
+        assert_eq!(
+            t.tolerated, 0,
+            "below-threshold RFC lacks the property outright"
+        );
+        assert_eq!(mean_updown_tolerance(&net, 3, &mut rng), 0.0);
+    }
+}

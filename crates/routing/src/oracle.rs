@@ -1,0 +1,24 @@
+//! The routing oracle abstraction consumed by the simulator.
+
+/// Supplies equal-cost next-hop candidates for a packet in flight.
+///
+/// `dst` is the destination *leaf switch* (for indirect networks) or
+/// *switch* (for direct networks) — terminal-to-switch mapping is the
+/// caller's concern. Implementations must guarantee progress: following
+/// any returned candidate eventually reaches `dst`, and the union of the
+/// per-hop choices must be free of cyclic buffer dependencies for the
+/// flow-controlled simulator to be deadlock-free (up/down routing
+/// satisfies this by construction).
+pub trait RoutingOracle {
+    /// Appends every candidate next-hop switch for a packet currently at
+    /// switch `current` and destined to `dst`. Appends nothing when
+    /// `current == dst` or no route exists.
+    fn next_hops_into(&self, current: u32, dst: u32, out: &mut Vec<u32>);
+
+    /// Convenience wrapper returning a fresh vector.
+    fn next_hops(&self, current: u32, dst: u32) -> Vec<u32> {
+        let mut out = Vec::new();
+        self.next_hops_into(current, dst, &mut out);
+        out
+    }
+}

@@ -1,0 +1,679 @@
+//! Up/down routing tables for folded Clos networks.
+
+use std::fmt;
+
+use rand::Rng;
+
+use rfc_graph::BitSet;
+use rfc_topology::FoldedClos;
+
+use crate::RoutingOracle;
+
+/// Deadlock-free equal-cost multi-path up/down routing (Section 4.1).
+///
+/// For every switch `s` the table stores two leaf bitsets:
+///
+/// * `down_reach(s)` — leaves reachable from `s` using only down-links,
+/// * `updown_reach(s)` — leaves reachable going up at least once and then
+///   down (i.e. leaves sharing an ancestor strictly above `s`).
+///
+/// A packet at `s` destined to leaf `d` descends toward any down-neighbor
+/// whose `down_reach` contains `d`, or else climbs to any up-neighbor `u`
+/// with `d ∈ down_reach(u) ∪ updown_reach(u)` — preferring up-neighbors
+/// that can turn around immediately. Every leaf pair is connected exactly
+/// when each leaf's `updown_reach` covers all other leaves, which is the
+/// common-ancestor condition of Theorem 4.2.
+///
+/// The table is self-contained (it copies the adjacency out of the
+/// [`FoldedClos`]), so it can outlive the topology and be queried from the
+/// simulator without lifetime coupling.
+pub struct UpDownRouting {
+    num_leaves: usize,
+    up: Vec<Vec<u32>>,
+    down: Vec<Vec<u32>>,
+    down_reach: Vec<BitSet>,
+    updown_reach: Vec<BitSet>,
+}
+
+impl fmt::Debug for UpDownRouting {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("UpDownRouting")
+            .field("switches", &self.up.len())
+            .field("leaves", &self.num_leaves)
+            .finish()
+    }
+}
+
+impl UpDownRouting {
+    /// Builds the routing table for `clos` in `O(links · leaves / 64)`.
+    pub fn new(clos: &FoldedClos) -> Self {
+        let n = clos.num_switches();
+        let leaves = clos.num_leaves();
+        let levels = clos.num_levels();
+        let mut up: Vec<Vec<u32>> = Vec::with_capacity(n);
+        let mut down: Vec<Vec<u32>> = Vec::with_capacity(n);
+        for s in 0..n as u32 {
+            up.push(clos.up_neighbors(s));
+            down.push(clos.down_neighbors(s));
+        }
+
+        // Downward reachability, bottom-up.
+        let mut down_reach: Vec<BitSet> = (0..n).map(|_| BitSet::new(leaves)).collect();
+        for (leaf, reach) in down_reach.iter_mut().enumerate().take(leaves) {
+            reach.insert(leaf);
+        }
+        for level in 1..levels {
+            for idx in 0..clos.level_size(level) {
+                let s = clos.switch_id(level, idx) as usize;
+                // Split to satisfy the borrow checker: down-neighbors live
+                // strictly below s in the id order.
+                let (lower, upper) = down_reach.split_at_mut(s);
+                for &d in &down[s] {
+                    upper[0].union_with(&lower[d as usize]);
+                }
+            }
+        }
+
+        // Up-then-down reachability, top-down.
+        let mut updown_reach: Vec<BitSet> = (0..n).map(|_| BitSet::new(leaves)).collect();
+        for level in (0..levels - 1).rev() {
+            for idx in 0..clos.level_size(level) {
+                let s = clos.switch_id(level, idx) as usize;
+                let (lower, upper) = updown_reach.split_at_mut(s + 1);
+                let slot = &mut lower[s];
+                for &u in &up[s] {
+                    slot.union_with(&down_reach[u as usize]);
+                    slot.union_with(&upper[u as usize - s - 1]);
+                }
+            }
+        }
+
+        Self {
+            num_leaves: leaves,
+            up,
+            down,
+            down_reach,
+            updown_reach,
+        }
+    }
+
+    /// Number of leaf switches covered by the table.
+    #[inline]
+    pub fn num_leaves(&self) -> usize {
+        self.num_leaves
+    }
+
+    /// Leaves reachable from `switch` using only down-links.
+    #[inline]
+    pub fn down_reach(&self, switch: u32) -> &BitSet {
+        &self.down_reach[switch as usize]
+    }
+
+    /// Leaves reachable from `switch` going up at least once, then down.
+    #[inline]
+    pub fn updown_reach(&self, switch: u32) -> &BitSet {
+        &self.updown_reach[switch as usize]
+    }
+
+    /// Whether leaves `a` and `b` share a common ancestor (i.e. an
+    /// up/down path exists between them).
+    pub fn leaves_connected(&self, a: u32, b: u32) -> bool {
+        a == b || self.updown_reach[a as usize].contains(b as usize)
+    }
+
+    /// Whether *every* pair of leaves shares a common ancestor — the
+    /// up/down-routing property whose probability Theorem 4.2
+    /// characterizes.
+    pub fn has_updown_property(&self) -> bool {
+        if self.num_leaves <= 1 {
+            return true;
+        }
+        (0..self.num_leaves).all(|leaf| {
+            let reach = &self.updown_reach[leaf];
+            // Needs all leaves except possibly itself.
+            let ones = reach.count_ones();
+            ones == self.num_leaves || (ones == self.num_leaves - 1 && !reach.contains(leaf))
+        })
+    }
+
+    /// Fraction of leaf pairs with a common ancestor (diagnostic for
+    /// near-threshold networks).
+    pub fn connected_pair_fraction(&self) -> f64 {
+        let n = self.num_leaves;
+        if n < 2 {
+            return 1.0;
+        }
+        let mut connected = 0usize;
+        for a in 0..n {
+            let reach = &self.updown_reach[a];
+            let mut ones = reach.count_ones();
+            if reach.contains(a) {
+                ones -= 1;
+            }
+            connected += ones;
+        }
+        connected as f64 / (n * (n - 1)) as f64
+    }
+
+    /// Exact minimal ECMP candidates: next hops lying on a *shortest*
+    /// up/down path from `current` to leaf `dst`.
+    ///
+    /// The [`RoutingOracle`] implementation is a fast greedy that may
+    /// overshoot the optimal turn level by preferring any feasible
+    /// up-neighbor (one-step lookahead — the behavior of a practical
+    /// "up/down random" router). This method instead pays for an upward
+    /// BFS with first-hop attribution, so it is exact but heavier;
+    /// it backs [`UpDownRouting::sample_path`] and path-length analyses.
+    pub fn minimal_next_hops(&self, current: u32, dst: u32) -> Vec<u32> {
+        let s = current as usize;
+        let d = dst as usize;
+        let mut out = Vec::new();
+        if current == dst {
+            return out;
+        }
+        if self.down_reach[s].contains(d) {
+            for &c in &self.down[s] {
+                if self.down_reach[c as usize].contains(d) {
+                    out.push(c);
+                }
+            }
+            return out;
+        }
+        // Upward BFS tracking which first hop reached each frontier
+        // switch; stop at the first height where a turn is possible.
+        let mut frontier: Vec<(u32, u32)> = self.up[s].iter().map(|&u| (u, u)).collect();
+        while !frontier.is_empty() {
+            let mut winners: Vec<u32> = frontier
+                .iter()
+                .filter(|&&(sw, _)| self.down_reach[sw as usize].contains(d))
+                .map(|&(_, first)| first)
+                .collect();
+            if !winners.is_empty() {
+                winners.sort_unstable();
+                winners.dedup();
+                return winners;
+            }
+            let mut next: Vec<(u32, u32)> = Vec::new();
+            for &(sw, first) in &frontier {
+                for &u in &self.up[sw as usize] {
+                    next.push((u, first));
+                }
+            }
+            next.sort_unstable();
+            next.dedup();
+            frontier = next;
+        }
+        out
+    }
+
+    /// Mean minimal up/down distance over `pairs` random distinct leaf
+    /// pairs (unreachable pairs are skipped; returns `NaN` if every
+    /// sampled pair was unreachable). The fewer-levels latency advantage
+    /// of Figures 9–10 is this quantity times the per-hop cost.
+    pub fn mean_updown_distance<R: Rng + ?Sized>(&self, pairs: usize, rng: &mut R) -> f64 {
+        let leaves = self.num_leaves as u32;
+        if leaves < 2 || pairs == 0 {
+            return f64::NAN;
+        }
+        let mut total = 0u64;
+        let mut counted = 0usize;
+        for _ in 0..pairs {
+            let a = rng.gen_range(0..leaves);
+            let mut b = rng.gen_range(0..leaves);
+            while b == a {
+                b = rng.gen_range(0..leaves);
+            }
+            if let Some(d) = self.updown_distance(a, b) {
+                total += u64::from(d);
+                counted += 1;
+            }
+        }
+        if counted == 0 {
+            f64::NAN
+        } else {
+            total as f64 / counted as f64
+        }
+    }
+
+    /// Number of distinct *minimal* up/down paths between two leaves:
+    /// the equal-cost multi-path diversity. `None` when no up/down path
+    /// exists; `Some(1)` for `a == b` by convention.
+    ///
+    /// CFTs give `(R/2)^(l-1)` between leaves of different top-level
+    /// subtrees, the 2-level OFT exactly 1 — the path-diversity gap
+    /// behind the resiliency results of Section 7.
+    pub fn updown_path_count(&self, a: u32, b: u32) -> Option<u64> {
+        if a == b {
+            return Some(1);
+        }
+        let height = self.updown_distance(a, b)? / 2;
+        // Count upward walks of length `height` from each endpoint,
+        // then pair them at common ancestors that can turn toward the
+        // other side.
+        let walks = |leaf: u32| -> std::collections::HashMap<u32, u64> {
+            let mut counts = std::collections::HashMap::new();
+            counts.insert(leaf, 1u64);
+            for _ in 0..height {
+                let mut next: std::collections::HashMap<u32, u64> =
+                    std::collections::HashMap::new();
+                for (&s, &c) in &counts {
+                    for &u in &self.up[s as usize] {
+                        *next.entry(u).or_insert(0) += c;
+                    }
+                }
+                counts = next;
+            }
+            counts
+        };
+        let from_a = walks(a);
+        let from_b = walks(b);
+        let mut total = 0u64;
+        for (s, ca) in from_a {
+            if let Some(cb) = from_b.get(&s) {
+                total += ca * cb;
+            }
+        }
+        Some(total)
+    }
+
+    /// Samples one **minimal** up/down path from `src` leaf to `dst`
+    /// leaf, choosing uniformly among exact ECMP candidates at every
+    /// hop. Returns the switch sequence including both endpoints, or
+    /// `None` when no up/down path exists.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `src` or `dst` is not a leaf id.
+    pub fn sample_path<R: Rng + ?Sized>(
+        &self,
+        src: u32,
+        dst: u32,
+        rng: &mut R,
+    ) -> Option<Vec<u32>> {
+        assert!((src as usize) < self.num_leaves && (dst as usize) < self.num_leaves);
+        if src == dst {
+            return Some(vec![src]);
+        }
+        if !self.leaves_connected(src, dst) {
+            return None;
+        }
+        let mut path = vec![src];
+        let mut current = src;
+        let mut buf = Vec::new();
+        // An up/down path cannot exceed 2 * levels hops; guard generously.
+        for _ in 0..4 * self.down_reach.len().max(8) {
+            if current == dst {
+                return Some(path);
+            }
+            buf.clear();
+            buf.extend(self.minimal_next_hops(current, dst));
+            if buf.is_empty() {
+                return None;
+            }
+            let next = buf[rng.gen_range(0..buf.len())];
+            path.push(next);
+            current = next;
+        }
+        None
+    }
+
+    /// Length (in hops) of the minimal up/down path between two leaves:
+    /// `2 h` where `h` is the lowest ancestor height at which they meet.
+    /// Returns `None` if no common ancestor exists, `Some(0)` when
+    /// `a == b`.
+    pub fn updown_distance(&self, a: u32, b: u32) -> Option<u32> {
+        if a == b {
+            return Some(0);
+        }
+        if !self.leaves_connected(a, b) {
+            return None;
+        }
+        // BFS upward from a, level by level, testing down_reach for b.
+        let mut frontier = vec![a];
+        let mut height = 0u32;
+        loop {
+            height += 1;
+            let mut next = Vec::new();
+            for &s in &frontier {
+                for &u in &self.up[s as usize] {
+                    if self.down_reach[u as usize].contains(b as usize) {
+                        return Some(2 * height);
+                    }
+                    next.push(u);
+                }
+            }
+            if next.is_empty() {
+                return None;
+            }
+            next.sort_unstable();
+            next.dedup();
+            frontier = next;
+        }
+    }
+}
+
+impl RoutingOracle for UpDownRouting {
+    fn next_hops_into(&self, current: u32, dst: u32, out: &mut Vec<u32>) {
+        let s = current as usize;
+        let d = dst as usize;
+        if current == dst {
+            return;
+        }
+        // Down phase: any down-neighbor that still covers the target.
+        if self.down_reach[s].contains(d) {
+            for &c in &self.down[s] {
+                if self.down_reach[c as usize].contains(d) {
+                    out.push(c);
+                }
+            }
+            return;
+        }
+        // Up phase: prefer up-neighbors that can turn around immediately.
+        let mark = out.len();
+        for &u in &self.up[s] {
+            if self.down_reach[u as usize].contains(d) {
+                out.push(u);
+            }
+        }
+        if out.len() > mark {
+            return;
+        }
+        for &u in &self.up[s] {
+            if self.updown_reach[u as usize].contains(d) {
+                out.push(u);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn cft_has_the_updown_property() {
+        let net = FoldedClos::cft(4, 3).unwrap();
+        let r = UpDownRouting::new(&net);
+        assert!(r.has_updown_property());
+        assert_eq!(r.connected_pair_fraction(), 1.0);
+        assert_eq!(r.num_leaves(), 8);
+    }
+
+    #[test]
+    fn oft_has_the_updown_property() {
+        let net = FoldedClos::oft(3, 2).unwrap();
+        let r = UpDownRouting::new(&net);
+        assert!(r.has_updown_property());
+    }
+
+    #[test]
+    fn down_reach_of_cft_root_covers_everything() {
+        let net = FoldedClos::cft(4, 3).unwrap();
+        let r = UpDownRouting::new(&net);
+        let root = net.switch_id(2, 0);
+        assert_eq!(r.down_reach(root).count_ones(), net.num_leaves());
+        // Leaves reach only themselves downward.
+        assert_eq!(r.down_reach(0).count_ones(), 1);
+        assert!(r.down_reach(0).contains(0));
+    }
+
+    #[test]
+    fn cft_distances_match_subtree_structure() {
+        // CFT(4, 3): leaves (t, w) with t in [4], w in [2]; leaves in the
+        // same subtree t meet at height 1 (distance 2), others at the
+        // roots (distance 4).
+        let net = FoldedClos::cft(4, 3).unwrap();
+        let r = UpDownRouting::new(&net);
+        assert_eq!(r.updown_distance(0, 0), Some(0));
+        assert_eq!(r.updown_distance(0, 1), Some(2), "same subtree");
+        assert_eq!(r.updown_distance(0, 2), Some(4), "different subtree");
+        assert_eq!(r.updown_distance(0, 7), Some(4));
+    }
+
+    #[test]
+    fn sampled_paths_are_valid_updown_walks() {
+        let net = FoldedClos::cft(6, 3).unwrap();
+        let r = UpDownRouting::new(&net);
+        let mut rng = StdRng::seed_from_u64(1);
+        for _ in 0..50 {
+            let a = rng.gen_range(0..net.num_leaves()) as u32;
+            let b = rng.gen_range(0..net.num_leaves()) as u32;
+            let path = r
+                .sample_path(a, b, &mut rng)
+                .expect("CFT is fully connected");
+            assert_eq!(path[0], a);
+            assert_eq!(*path.last().unwrap(), b);
+            // Up/down shape: levels rise monotonically then fall.
+            let levels: Vec<usize> = path.iter().map(|&s| net.level_of(s)).collect();
+            let peak = levels
+                .iter()
+                .position(|&l| l == *levels.iter().max().unwrap())
+                .unwrap();
+            for w in levels[..=peak].windows(2) {
+                assert_eq!(w[1], w[0] + 1, "ascent must climb one level per hop");
+            }
+            for w in levels[peak..].windows(2) {
+                assert_eq!(w[1] + 1, w[0], "descent must drop one level per hop");
+            }
+            // Minimality against the oracle distance.
+            assert_eq!(path.len() as u32 - 1, r.updown_distance(a, b).unwrap());
+        }
+    }
+
+    #[test]
+    fn rfc_at_generous_radix_has_updown_property() {
+        // 3-level RFC with radix far above the Theorem 4.2 threshold:
+        // N1 ln N1 = 32 ln 32 ~ 111 << (R/2)^4 = 1296.
+        let mut rng = StdRng::seed_from_u64(2);
+        let net = FoldedClos::random(12, 32, 3, &mut rng).unwrap();
+        let r = UpDownRouting::new(&net);
+        assert!(r.has_updown_property());
+        // All leaf pairs should be routable with minimal paths <= 4.
+        for a in 0..4u32 {
+            for b in 0..32u32 {
+                if a == b {
+                    continue;
+                }
+                let d = r.updown_distance(a, b).unwrap();
+                assert!(d == 2 || d == 4, "distance {d} out of range");
+            }
+        }
+    }
+
+    #[test]
+    fn rfc_below_threshold_loses_the_property() {
+        // 2-level RFC with tiny radix: leaves have 2 up-links into 32
+        // roots... wait, roots = N1/2 = 32; each leaf sees 2 of 32 roots,
+        // so two leaves almost surely miss each other.
+        let mut rng = StdRng::seed_from_u64(3);
+        let net = FoldedClos::random(4, 64, 2, &mut rng).unwrap();
+        let r = UpDownRouting::new(&net);
+        assert!(!r.has_updown_property());
+        assert!(r.connected_pair_fraction() < 0.5);
+    }
+
+    #[test]
+    fn next_hops_empty_at_destination_or_when_unreachable() {
+        let net = FoldedClos::cft(4, 2).unwrap();
+        let r = UpDownRouting::new(&net);
+        assert!(r.next_hops(0, 0).is_empty());
+        let faulty = net.with_links_removed(
+            &net.links()
+                .iter()
+                .filter(|l| l.lower == 0)
+                .copied()
+                .collect::<Vec<_>>(),
+        );
+        let fr = UpDownRouting::new(&faulty);
+        assert!(fr.next_hops(0, 1).is_empty(), "leaf 0 is cut off");
+        assert!(!fr.has_updown_property());
+        assert_eq!(fr.updown_distance(0, 1), None);
+        assert!(fr
+            .sample_path(0, 1, &mut StdRng::seed_from_u64(0))
+            .is_none());
+    }
+
+    #[test]
+    fn ecmp_counts_on_cft_match_theory() {
+        // CFT(R, 3): between leaves of different subtrees there are
+        // (R/2)^2 up/down paths; the first hop offers R/2 candidates.
+        let net = FoldedClos::cft(8, 3).unwrap();
+        let r = UpDownRouting::new(&net);
+        let hops = r.next_hops(0, (net.num_leaves() - 1) as u32);
+        assert_eq!(hops.len(), 4);
+        // All candidates are level-1 switches.
+        for h in hops {
+            assert_eq!(net.level_of(h), 1);
+        }
+    }
+
+    #[test]
+    fn faults_shrink_ecmp_but_keep_correctness() {
+        let net = FoldedClos::cft(6, 3).unwrap();
+        let all = net.links();
+        // Remove a third of the links between levels 1 and 2.
+        let victims: Vec<_> = all
+            .iter()
+            .filter(|l| net.level_of(l.lower) == 1)
+            .step_by(3)
+            .copied()
+            .collect();
+        let faulty = net.with_links_removed(&victims);
+        let r = UpDownRouting::new(&faulty);
+        let mut rng = StdRng::seed_from_u64(9);
+        for _ in 0..30 {
+            let a = rng.gen_range(0..net.num_leaves()) as u32;
+            let b = rng.gen_range(0..net.num_leaves()) as u32;
+            if let Some(path) = r.sample_path(a, b, &mut rng) {
+                assert_eq!(*path.last().unwrap(), b);
+            }
+        }
+    }
+
+    #[test]
+    fn path_counts_match_theory_on_cft_and_oft() {
+        // CFT(R, 3): (R/2)^2 minimal paths across subtrees, R/2 within.
+        let cft = FoldedClos::cft(8, 3).unwrap();
+        let r = UpDownRouting::new(&cft);
+        assert_eq!(r.updown_path_count(0, 1), Some(4), "same subtree: R/2");
+        assert_eq!(
+            r.updown_path_count(0, 8),
+            Some(16),
+            "cross subtree: (R/2)^2"
+        );
+        assert_eq!(r.updown_path_count(0, 0), Some(1));
+        // 2-level OFT: unique minimal routes between distinct points.
+        let oft = FoldedClos::oft(3, 2).unwrap();
+        let ro = UpDownRouting::new(&oft);
+        assert_eq!(ro.updown_path_count(0, 1), Some(1));
+        assert_eq!(
+            ro.updown_path_count(0, 14),
+            Some(1),
+            "across halves, distinct points"
+        );
+    }
+
+    #[test]
+    fn three_level_oft_keeps_near_unique_paths() {
+        // Generic leaf pairs (both plane coordinates distinct) of the
+        // 3-level OFT have exactly one minimal route; degenerate pairs
+        // (a shared coordinate) get q+1.
+        let oft = FoldedClos::oft(2, 3).unwrap();
+        let r = UpDownRouting::new(&oft);
+        // Leaves (h, x0, x1) indexed h*49 + x0 + 7*x1.
+        let leaf = |h: u32, x0: u32, x1: u32| h * 49 + x0 + 7 * x1;
+        assert_eq!(r.updown_path_count(leaf(0, 0, 0), leaf(0, 1, 1)), Some(1));
+        assert_eq!(r.updown_path_count(leaf(0, 0, 0), leaf(1, 2, 4)), Some(1));
+        assert_eq!(
+            r.updown_path_count(leaf(0, 0, 0), leaf(0, 1, 0)),
+            Some(1),
+            "shared x1: the unique line through two points still pins the route"
+        );
+        assert_eq!(
+            r.updown_path_count(leaf(0, 0, 0), leaf(1, 0, 0)),
+            Some(9),
+            "mirror leaves share all (q+1)^2 root ancestors"
+        );
+    }
+
+    #[test]
+    fn path_count_none_when_disconnected() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let net = FoldedClos::random(4, 64, 2, &mut rng).unwrap();
+        let r = UpDownRouting::new(&net);
+        // Far below threshold: some pair must be disconnected.
+        let mut found_none = false;
+        'outer: for a in 0..64u32 {
+            for b in 0..64u32 {
+                if a != b && r.updown_path_count(a, b).is_none() {
+                    found_none = true;
+                    break 'outer;
+                }
+            }
+        }
+        assert!(found_none);
+    }
+
+    #[test]
+    fn minimal_next_hops_agree_with_updown_distance() {
+        // On random 4-level networks the greedy oracle may overshoot;
+        // the exact method must always follow the distance metric.
+        let mut rng = StdRng::seed_from_u64(77);
+        for _ in 0..5 {
+            let net = FoldedClos::random(4, 12, 4, &mut rng).unwrap();
+            let r = UpDownRouting::new(&net);
+            for a in 0..net.num_leaves() as u32 {
+                for b in 0..net.num_leaves() as u32 {
+                    let Some(d) = r.updown_distance(a, b) else {
+                        continue;
+                    };
+                    if d == 0 {
+                        continue;
+                    }
+                    // Following exact hops step by step must realize d.
+                    let mut cur = a;
+                    let mut left = d;
+                    while cur != b {
+                        let hops = r.minimal_next_hops(cur, b);
+                        assert!(!hops.is_empty(), "stuck at {cur} -> {b}");
+                        cur = hops[0];
+                        left -= 1;
+                    }
+                    assert_eq!(left, 0, "path length mismatch for {a}->{b}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn greedy_oracle_is_a_superset_route_but_may_overshoot() {
+        // The greedy candidates always keep the destination reachable,
+        // even when not minimal.
+        let mut rng = StdRng::seed_from_u64(78);
+        let net = FoldedClos::random(6, 18, 3, &mut rng).unwrap();
+        let r = UpDownRouting::new(&net);
+        for a in 0..net.num_leaves() as u32 {
+            for b in 0..net.num_leaves() as u32 {
+                if a == b || !r.leaves_connected(a, b) {
+                    continue;
+                }
+                for h in r.next_hops(a, b) {
+                    assert!(
+                        r.down_reach(h).contains(b as usize)
+                            || r.updown_reach(h).contains(b as usize),
+                        "greedy hop {h} loses {b}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn debug_shows_table_shape() {
+        let net = FoldedClos::cft(4, 2).unwrap();
+        let r = UpDownRouting::new(&net);
+        assert!(format!("{r:?}").contains("leaves"));
+    }
+}

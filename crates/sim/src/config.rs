@@ -1,0 +1,158 @@
+//! Simulation parameters (the paper's Table 2).
+
+/// How a head packet picks among its equal-cost next hops
+/// (Table 2's "request mode").
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+#[non_exhaustive]
+pub enum RequestMode {
+    /// One uniformly random candidate per cycle — the paper's
+    /// "up/down random" (re-randomized while blocked, giving mild
+    /// adaptivity).
+    #[default]
+    UpDownRandom,
+    /// A deterministic hash of (switch, destination) — models static
+    /// ECMP hashing; an ablation knob, not the paper's configuration.
+    UpDownHash,
+}
+
+/// Simulator configuration.
+///
+/// [`SimConfig::paper_defaults`] reproduces Table 2 of the paper; fields
+/// are public so experiments (and the ablation benches) can vary them.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SimConfig {
+    /// Virtual channels per input port (Table 2: 4).
+    pub virtual_channels: usize,
+    /// Buffer capacity per virtual channel, in packets (Table 2: 4).
+    pub buffer_packets: usize,
+    /// Packet length in phits (Table 2: 16).
+    pub packet_length: u64,
+    /// Link traversal latency in cycles (Table 2: 1).
+    pub link_latency: u64,
+    /// Extra router pipeline cycles added per hop (header processing
+    /// beyond the single arbitration cycle). Default 0 — the minimal
+    /// Table 2 model; INSEE-class routers spend several cycles per hop,
+    /// which is what makes the RFC's fewer levels worth the paper's
+    /// 15–20% mean latency. Raise this to study that effect.
+    pub router_latency: u64,
+    /// Cycles simulated before statistics collection starts.
+    pub warmup_cycles: u64,
+    /// Cycles over which statistics are collected (Table 2: 10,000).
+    pub measure_cycles: u64,
+    /// Next-hop selection policy (Table 2: "up/down random").
+    pub request_mode: RequestMode,
+    /// Valiant randomization: route every packet through a uniformly
+    /// random intermediate leaf before heading to its destination.
+    /// **Extension, off by default** — the paper argues RFCs do *not*
+    /// need this (unlike dragonflies); this knob lets the claim be
+    /// tested: Valiant halves the bandwidth headroom while smoothing
+    /// adversarial patterns.
+    ///
+    /// Two chained up/down phases reintroduce a down→up channel
+    /// dependency at the intermediate leaf, so the engine partitions the
+    /// virtual channels by phase (first half to the intermediate, second
+    /// half to the destination) — the standard deadlock-avoidance for
+    /// Valiant on trees. Requires at least 2 virtual channels.
+    pub valiant_routing: bool,
+}
+
+impl SimConfig {
+    /// The configuration of the paper's Table 2 (warmup chosen as half the
+    /// measurement window; the paper states "preceded by a network warmup"
+    /// without a number).
+    pub fn paper_defaults() -> Self {
+        Self {
+            virtual_channels: 4,
+            buffer_packets: 4,
+            packet_length: 16,
+            link_latency: 1,
+            router_latency: 0,
+            warmup_cycles: 5_000,
+            measure_cycles: 10_000,
+            request_mode: RequestMode::UpDownRandom,
+            valiant_routing: false,
+        }
+    }
+
+    /// A miniature configuration for fast tests: 1,000 measured cycles
+    /// after a 300-cycle warmup, same flow-control parameters.
+    pub fn quick() -> Self {
+        Self {
+            warmup_cycles: 300,
+            measure_cycles: 1_000,
+            ..Self::paper_defaults()
+        }
+    }
+
+    /// Total simulated cycles.
+    pub fn total_cycles(&self) -> u64 {
+        self.warmup_cycles + self.measure_cycles
+    }
+
+    /// Validates the configuration.
+    ///
+    /// # Panics
+    ///
+    /// Panics when a field is zero where that makes no sense, or the link
+    /// latency/packet length exceed the event-wheel horizon.
+    pub fn assert_valid(&self) {
+        assert!(
+            self.virtual_channels >= 1,
+            "need at least one virtual channel"
+        );
+        assert!(self.buffer_packets >= 1, "need at least one buffer slot");
+        assert!(self.packet_length >= 1, "packets need at least one phit");
+        assert!(self.measure_cycles >= 1, "nothing to measure");
+        assert!(
+            self.link_latency + self.router_latency + self.packet_length
+                < crate::engine::EVENT_WHEEL as u64,
+            "link + router latency + packet length must fit the event wheel"
+        );
+        assert!(
+            !self.valiant_routing || self.virtual_channels >= 2,
+            "valiant routing needs >= 2 virtual channels for its phase partition"
+        );
+    }
+}
+
+impl Default for SimConfig {
+    fn default() -> Self {
+        Self::paper_defaults()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_defaults_match_table_2() {
+        let c = SimConfig::paper_defaults();
+        assert_eq!(c.virtual_channels, 4);
+        assert_eq!(c.buffer_packets, 4);
+        assert_eq!(c.packet_length, 16);
+        assert_eq!(c.link_latency, 1);
+        assert_eq!(c.measure_cycles, 10_000);
+        assert_eq!(c.request_mode, RequestMode::UpDownRandom);
+        assert_eq!(RequestMode::default(), RequestMode::UpDownRandom);
+        c.assert_valid();
+        assert_eq!(SimConfig::default(), c);
+    }
+
+    #[test]
+    fn quick_config_is_valid_and_smaller() {
+        let c = SimConfig::quick();
+        c.assert_valid();
+        assert!(c.total_cycles() < SimConfig::paper_defaults().total_cycles());
+    }
+
+    #[test]
+    #[should_panic(expected = "virtual channel")]
+    fn zero_vcs_rejected() {
+        let c = SimConfig {
+            virtual_channels: 0,
+            ..SimConfig::paper_defaults()
+        };
+        c.assert_valid();
+    }
+}

@@ -1,0 +1,843 @@
+//! The cycle-driven virtual cut-through simulation engine.
+
+use std::collections::VecDeque;
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+use rfc_routing::RoutingOracle;
+
+use crate::network::{OutTarget, SimNetwork};
+use crate::traffic::TrafficState;
+use crate::{RequestMode, SimConfig, SimResult, TrafficPattern};
+
+/// Latency samples kept for percentile estimation (reservoir-sampled
+/// beyond this count).
+const LATENCY_RESERVOIR: usize = 200_000;
+
+/// Size of the event wheel; link latency + packet length must stay below
+/// this horizon.
+pub(crate) const EVENT_WHEEL: usize = 64;
+
+/// Sentinel for "no Valiant intermediate".
+const NO_VIA: u32 = u32::MAX;
+
+/// The virtual-channel class a packet may occupy: with Valiant routing,
+/// phase-0 packets (heading to the intermediate) use `[0, v/2)` and
+/// phase-1 packets `[v/2, v)`, breaking the down→up dependency the
+/// chained up/down phases would otherwise create.
+#[inline]
+fn vc_range(valiant: bool, in_phase_0: bool, v: usize) -> (usize, usize) {
+    if !valiant {
+        (0, v)
+    } else if in_phase_0 {
+        (0, v / 2)
+    } else {
+        (v / 2, v)
+    }
+}
+
+/// A packet in flight. Payload is irrelevant to the performance study;
+/// only identity, destination, and timing are tracked.
+#[derive(Debug, Clone, Copy)]
+struct Packet {
+    dst_terminal: u32,
+    dst_switch: u32,
+    /// Valiant intermediate switch, or [`NO_VIA`] once passed (or when
+    /// Valiant routing is off).
+    via_switch: u32,
+    gen_time: u64,
+}
+
+#[derive(Debug, Clone, Copy)]
+enum Event {
+    /// A packet header reaches an input virtual channel.
+    Arrival {
+        in_port: u32,
+        vc: u8,
+        packet: Packet,
+    },
+    /// A packet tail leaves an input buffer, freeing one slot.
+    Credit { in_port: u32, vc: u8 },
+}
+
+/// A pending output-port request from one input virtual channel.
+#[derive(Debug, Clone, Copy)]
+struct Request {
+    in_port: u32,
+    vc: u8,
+    /// Target VC at the downstream input port; unused for ejection.
+    target_vc: u8,
+}
+
+/// Precomputed ECMP candidate lists. Routing oracles are deterministic
+/// per `(switch, destination)` pair, and the request stage queries them
+/// for every head packet every cycle — so for all but huge networks the
+/// answers are materialized once into a flat table.
+#[derive(Debug)]
+enum Candidates {
+    /// `offsets[switch * dst_space + dst] .. offsets[.. + 1]` indexes
+    /// `hops`.
+    Table {
+        offsets: Vec<u32>,
+        hops: Vec<u32>,
+        dst_space: usize,
+    },
+    /// Network too large to materialize; query the oracle live.
+    Live,
+}
+
+/// Above this many (switch, destination) pairs the table is skipped
+/// (it would cost more memory than it saves time).
+const TABLE_BUDGET: usize = 16_000_000;
+
+/// A configured simulation, ready to run traffic.
+///
+/// One `Simulation` can [`Simulation::run`] many independent experiments;
+/// each run builds fresh per-run state and is fully determined by its
+/// `(pattern, offered_load, seed)` triple.
+#[derive(Debug)]
+pub struct Simulation<'a, O> {
+    net: &'a SimNetwork,
+    oracle: &'a O,
+    config: SimConfig,
+    candidates: Candidates,
+}
+
+impl<'a, O: RoutingOracle> Simulation<'a, O> {
+    /// Creates a simulation over `net` using `oracle` for next hops.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the configuration is invalid (see
+    /// [`SimConfig::assert_valid`]).
+    pub fn new(net: &'a SimNetwork, oracle: &'a O, config: SimConfig) -> Self {
+        Self::with_table_budget(net, oracle, config, TABLE_BUDGET)
+    }
+
+    /// Like [`Simulation::new`] with an explicit candidate-table budget
+    /// (in `(switch, destination)` pairs); 0 forces live oracle queries.
+    /// Exposed for benchmarking and tests — `new` picks a sensible
+    /// default.
+    pub fn with_table_budget(
+        net: &'a SimNetwork,
+        oracle: &'a O,
+        config: SimConfig,
+        budget: usize,
+    ) -> Self {
+        config.assert_valid();
+        let dst_space = net
+            .dst_switch_of_terminal
+            .iter()
+            .copied()
+            .max()
+            .map_or(0, |m| m as usize + 1);
+        let candidates = if net.num_switches() * dst_space <= budget {
+            let mut offsets = Vec::with_capacity(net.num_switches() * dst_space + 1);
+            let mut hops = Vec::new();
+            offsets.push(0u32);
+            let mut buf = Vec::new();
+            for switch in 0..net.num_switches() as u32 {
+                for dst in 0..dst_space as u32 {
+                    if switch != dst {
+                        buf.clear();
+                        oracle.next_hops_into(switch, dst, &mut buf);
+                        hops.extend_from_slice(&buf);
+                    }
+                    offsets.push(hops.len() as u32);
+                }
+            }
+            Candidates::Table {
+                offsets,
+                hops,
+                dst_space,
+            }
+        } else {
+            Candidates::Live
+        };
+        Self {
+            net,
+            oracle,
+            config,
+            candidates,
+        }
+    }
+
+    /// ECMP candidates for a packet at `switch` headed to `dst`,
+    /// appended to `buf` (which is cleared first).
+    #[inline]
+    fn next_hops<'b>(&'b self, switch: u32, dst: u32, buf: &'b mut Vec<u32>) -> &'b [u32] {
+        match &self.candidates {
+            Candidates::Table {
+                offsets,
+                hops,
+                dst_space,
+            } => {
+                let idx = switch as usize * dst_space + dst as usize;
+                &hops[offsets[idx] as usize..offsets[idx + 1] as usize]
+            }
+            Candidates::Live => {
+                buf.clear();
+                self.oracle.next_hops_into(switch, dst, buf);
+                buf
+            }
+        }
+    }
+
+    /// The configuration in use.
+    pub fn config(&self) -> &SimConfig {
+        &self.config
+    }
+
+    /// Runs one experiment: `offered_load` is in phits per node per cycle
+    /// (1.0 = every node tries to inject one phit per cycle).
+    pub fn run(&self, pattern: TrafficPattern, offered_load: f64, seed: u64) -> SimResult {
+        self.run_with_probes(pattern, offered_load, seed).0
+    }
+
+    /// Like [`Simulation::run`], additionally reporting per-port
+    /// serialization utilization over the measurement window.
+    pub fn run_with_probes(
+        &self,
+        pattern: TrafficPattern,
+        offered_load: f64,
+        seed: u64,
+    ) -> (SimResult, crate::stats::PortUtilization) {
+        let cfg = self.config;
+        let net = self.net;
+        let v = cfg.virtual_channels;
+        let n_in = net.num_in_ports();
+        let n_out = net.num_out_ports();
+        let terminals = net.num_terminals();
+        // SmallRng: the engine makes several RNG draws per active
+        // virtual channel per cycle, so generator speed dominates at
+        // saturation; xoshiro is ~4x faster than the default ChaCha and
+        // still seed-deterministic.
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let traffic = TrafficState::new(pattern, terminals, &mut rng);
+
+        let mut queues: Vec<VecDeque<Packet>> = vec![VecDeque::new(); n_in * v];
+        // Packets buffered per input port, so the request scan can skip
+        // idle ports without touching their VC queues.
+        let mut port_occupancy: Vec<u32> = vec![0; n_in];
+        let mut credits: Vec<u8> = vec![cfg.buffer_packets as u8; n_in * v];
+        let mut busy_until: Vec<u64> = vec![0; n_out];
+        let mut busy_cycles: Vec<u64> = vec![0; n_out];
+        let mut wheel: Vec<Vec<Event>> = vec![Vec::new(); EVENT_WHEEL];
+        let mut req_lists: Vec<Vec<Request>> = vec![Vec::new(); n_out];
+        let mut touched: Vec<u32> = Vec::new();
+        let mut hop_buf: Vec<u32> = Vec::new();
+
+        let p_gen = (offered_load / cfg.packet_length as f64).clamp(0.0, 1.0);
+        let warmup = cfg.warmup_cycles;
+        let end = cfg.total_cycles();
+
+        let mut generated = 0u64;
+        let mut refused = 0u64;
+        let mut unroutable = 0u64;
+        let mut delivered = 0u64;
+        let mut latency_sum = 0u64;
+        let mut latency_samples: Vec<u32> = Vec::new();
+
+        for now in 0..end {
+            let in_window = now >= warmup;
+            // 1. Deliver scheduled events.
+            let slot = (now as usize) % EVENT_WHEEL;
+            let events = std::mem::take(&mut wheel[slot]);
+            for ev in events {
+                match ev {
+                    Event::Arrival {
+                        in_port,
+                        vc,
+                        packet,
+                    } => {
+                        queues[in_port as usize * v + vc as usize].push_back(packet);
+                        port_occupancy[in_port as usize] += 1;
+                    }
+                    Event::Credit { in_port, vc } => {
+                        credits[in_port as usize * v + vc as usize] += 1;
+                    }
+                }
+            }
+
+            // 2. Injection: Bernoulli generation per terminal, "shortest"
+            //    injection mode — the virtual channel with most free slots.
+            for t in 0..terminals as u32 {
+                if p_gen <= 0.0 || rng.gen::<f64>() >= p_gen {
+                    continue;
+                }
+                let Some(dst) = traffic.dest(t, &mut rng) else {
+                    continue;
+                };
+                let dst_switch = net.dst_switch_of_terminal[dst as usize];
+                let src_switch = net.dst_switch_of_terminal[t as usize];
+                // Valiant stage: bounce through a random terminal's
+                // switch first.
+                let via_switch = if cfg.valiant_routing {
+                    let mid = rng.gen_range(0..terminals as u32);
+                    let v = net.dst_switch_of_terminal[mid as usize];
+                    if v == src_switch || v == dst_switch {
+                        NO_VIA
+                    } else {
+                        v
+                    }
+                } else {
+                    NO_VIA
+                };
+                let first_target = if via_switch != NO_VIA {
+                    via_switch
+                } else {
+                    dst_switch
+                };
+                if src_switch != first_target {
+                    if self
+                        .next_hops(src_switch, first_target, &mut hop_buf)
+                        .is_empty()
+                    {
+                        unroutable += 1;
+                        continue;
+                    }
+                }
+                if via_switch != NO_VIA && via_switch != dst_switch {
+                    if self
+                        .next_hops(via_switch, dst_switch, &mut hop_buf)
+                        .is_empty()
+                    {
+                        unroutable += 1;
+                        continue;
+                    }
+                }
+                let in_port = net.inject_port_of_terminal[t as usize] as usize;
+                let base = in_port * v;
+                // Valiant phase partition: packets still heading to an
+                // intermediate use the first half of the VCs.
+                let (vc_lo, vc_hi) = vc_range(cfg.valiant_routing, via_switch != NO_VIA, v);
+                let best = (vc_lo..vc_hi)
+                    .max_by_key(|&c| credits[base + c])
+                    .expect("nonempty VC range");
+                if credits[base + best] == 0 {
+                    if in_window {
+                        refused += 1;
+                    }
+                    continue;
+                }
+                credits[base + best] -= 1;
+                queues[base + best].push_back(Packet {
+                    dst_terminal: dst,
+                    dst_switch,
+                    via_switch,
+                    gen_time: now,
+                });
+                port_occupancy[in_port] += 1;
+                if in_window {
+                    generated += 1;
+                }
+            }
+
+            // 3. Routing requests: every head packet asks for one random
+            //    candidate output (the "up/down random" request mode).
+            for in_port in 0..n_in {
+                if port_occupancy[in_port] == 0 {
+                    continue;
+                }
+                let switch = net.switch_of_in_port[in_port];
+                for vc in 0..v {
+                    let Some(head) = queues[in_port * v + vc].front_mut() else {
+                        continue;
+                    };
+                    // Valiant phase transition: the intermediate has
+                    // been reached, continue toward the real target.
+                    if head.via_switch == switch {
+                        head.via_switch = NO_VIA;
+                    }
+                    let routing_target = if head.via_switch != NO_VIA {
+                        head.via_switch
+                    } else {
+                        head.dst_switch
+                    };
+                    let head = *head;
+                    let (out_port, target_vc) = if routing_target == switch {
+                        let out = net.eject_port_of_terminal[head.dst_terminal as usize];
+                        if busy_until[out as usize] > now {
+                            continue;
+                        }
+                        (out, u8::MAX)
+                    } else {
+                        let cands = self.next_hops(switch, routing_target, &mut hop_buf);
+                        if cands.is_empty() {
+                            // Statically faulted networks never strand a
+                            // packet mid-route (injection pre-checks), but
+                            // stay safe: stall it.
+                            continue;
+                        }
+                        let hop = match cfg.request_mode {
+                            RequestMode::UpDownRandom => cands[rng.gen_range(0..cands.len())],
+                            RequestMode::UpDownHash => {
+                                let h = (u64::from(switch).wrapping_mul(0x9E37_79B9_7F4A_7C15))
+                                    ^ (u64::from(routing_target)
+                                        .wrapping_mul(0xD1B5_4A32_D192_ED03));
+                                cands[(h >> 32) as usize % cands.len()]
+                            }
+                        };
+                        let out = net
+                            .out_port_to(switch, hop)
+                            .expect("oracle returned a non-neighbor");
+                        if busy_until[out as usize] > now {
+                            continue;
+                        }
+                        let tgt_in = match net.out_target[out as usize] {
+                            OutTarget::Link { in_port, .. } => in_port as usize,
+                            OutTarget::Eject { .. } => unreachable!("link port expected"),
+                        };
+                        // Random target VC among those with a free slot,
+                        // restricted to the packet's Valiant phase class.
+                        let (vc_lo, vc_hi) =
+                            vc_range(cfg.valiant_routing, head.via_switch != NO_VIA, v);
+                        let span = vc_hi - vc_lo;
+                        let start = rng.gen_range(0..span);
+                        let mut chosen = None;
+                        for off in 0..span {
+                            let cand = vc_lo + (start + off) % span;
+                            if credits[tgt_in * v + cand] > 0 {
+                                chosen = Some(cand as u8);
+                                break;
+                            }
+                        }
+                        let Some(tvc) = chosen else { continue };
+                        (out, tvc)
+                    };
+                    if req_lists[out_port as usize].is_empty() {
+                        touched.push(out_port);
+                    }
+                    req_lists[out_port as usize].push(Request {
+                        in_port: in_port as u32,
+                        vc: vc as u8,
+                        target_vc,
+                    });
+                }
+            }
+
+            // 4. Random arbitration, one iteration: each free output port
+            //    grants one random requester.
+            for &out in &touched {
+                let reqs = &mut req_lists[out as usize];
+                if reqs.is_empty() {
+                    continue;
+                }
+                let pick = reqs[rng.gen_range(0..reqs.len())];
+                reqs.clear();
+                debug_assert!(busy_until[out as usize] <= now);
+                let q = &mut queues[pick.in_port as usize * v + pick.vc as usize];
+                let packet = q.pop_front().expect("requesting VC cannot be empty");
+                port_occupancy[pick.in_port as usize] -= 1;
+                busy_until[out as usize] = now + cfg.packet_length;
+                if in_window {
+                    busy_cycles[out as usize] += cfg.packet_length.min(end - now);
+                }
+                let credit_at = ((now + cfg.packet_length) as usize) % EVENT_WHEEL;
+                wheel[credit_at].push(Event::Credit {
+                    in_port: pick.in_port,
+                    vc: pick.vc,
+                });
+                match net.out_target[out as usize] {
+                    OutTarget::Eject { terminal } => {
+                        debug_assert_eq!(terminal, packet.dst_terminal);
+                        if in_window {
+                            delivered += 1;
+                            let latency = now + cfg.packet_length - packet.gen_time;
+                            latency_sum += latency;
+                            // Reservoir sampling keeps memory bounded at
+                            // paper scale while preserving percentile
+                            // accuracy.
+                            if latency_samples.len() < LATENCY_RESERVOIR {
+                                latency_samples.push(latency as u32);
+                            } else {
+                                let slot = rng.gen_range(0..delivered as usize);
+                                if slot < LATENCY_RESERVOIR {
+                                    latency_samples[slot] = latency as u32;
+                                }
+                            }
+                        }
+                    }
+                    OutTarget::Link { in_port: tgt, .. } => {
+                        credits[tgt as usize * v + pick.target_vc as usize] -= 1;
+                        let at = ((now + cfg.link_latency + cfg.router_latency) as usize)
+                            % EVENT_WHEEL;
+                        wheel[at].push(Event::Arrival {
+                            in_port: tgt,
+                            vc: pick.target_vc,
+                            packet,
+                        });
+                    }
+                }
+            }
+            touched.clear();
+        }
+
+        let in_flight: u64 = queues.iter().map(|q| q.len() as u64).sum::<u64>()
+            + wheel
+                .iter()
+                .flatten()
+                .filter(|e| matches!(e, Event::Arrival { .. }))
+                .count() as u64;
+        let window = cfg.measure_cycles as f64;
+        latency_samples.sort_unstable();
+        let percentile = |p: f64| -> f64 {
+            if latency_samples.is_empty() {
+                return f64::NAN;
+            }
+            let idx = (p * (latency_samples.len() - 1) as f64).round() as usize;
+            f64::from(latency_samples[idx])
+        };
+        let result = SimResult {
+            offered_load,
+            accepted_load: delivered as f64 * cfg.packet_length as f64
+                / (window * terminals.max(1) as f64),
+            avg_latency: if delivered == 0 {
+                f64::NAN
+            } else {
+                latency_sum as f64 / delivered as f64
+            },
+            latency_p50: percentile(0.50),
+            latency_p95: percentile(0.95),
+            latency_p99: percentile(0.99),
+            delivered_packets: delivered,
+            generated_packets: generated,
+            refused_packets: refused + unroutable,
+            in_flight_at_end: in_flight,
+        };
+        let mut link = Vec::new();
+        let mut eject = Vec::new();
+        for (out, &busy) in busy_cycles.iter().enumerate() {
+            let utilization = busy as f64 / window;
+            match net.out_target[out] {
+                OutTarget::Link { .. } => link.push(utilization),
+                OutTarget::Eject { .. } => eject.push(utilization),
+            }
+        }
+        (result, crate::stats::PortUtilization { link, eject })
+    }
+
+    /// Runs a load sweep, one run per entry of `loads`, with seeds
+    /// `seed, seed+1, …`.
+    pub fn sweep(&self, pattern: TrafficPattern, loads: &[f64], seed: u64) -> Vec<SimResult> {
+        loads
+            .iter()
+            .enumerate()
+            .map(|(i, &load)| self.run(pattern, load, seed + i as u64))
+            .collect()
+    }
+
+    /// Saturation throughput: accepted load when every node offers one
+    /// phit per cycle.
+    pub fn max_throughput(&self, pattern: TrafficPattern, seed: u64) -> f64 {
+        self.run(pattern, 1.0, seed).accepted_load
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rfc_routing::UpDownRouting;
+    use rfc_topology::FoldedClos;
+
+    fn tiny_sim() -> (SimNetwork, UpDownRouting) {
+        let clos = FoldedClos::cft(4, 2).unwrap();
+        let routing = UpDownRouting::new(&clos);
+        (SimNetwork::from_folded_clos(&clos), routing)
+    }
+
+    #[test]
+    fn zero_load_delivers_nothing() {
+        let (net, routing) = tiny_sim();
+        let sim = Simulation::new(&net, &routing, SimConfig::quick());
+        let r = sim.run(TrafficPattern::Uniform, 0.0, 1);
+        assert_eq!(r.delivered_packets, 0);
+        assert_eq!(r.generated_packets, 0);
+        assert!(r.avg_latency.is_nan());
+        assert_eq!(r.accepted_load, 0.0);
+    }
+
+    #[test]
+    fn light_load_has_near_minimal_latency() {
+        let (net, routing) = tiny_sim();
+        let sim = Simulation::new(&net, &routing, SimConfig::quick());
+        let r = sim.run(TrafficPattern::Uniform, 0.05, 2);
+        assert!(r.delivered_packets > 0);
+        // Minimal latency: 16 phits + a few header hops (2 switch hops at
+        // most in a 2-level CFT + injection + ejection arbitration).
+        assert!(
+            r.avg_latency >= 16.0,
+            "latency {} below serialization",
+            r.avg_latency
+        );
+        assert!(
+            r.avg_latency < 40.0,
+            "latency {} too high for light load",
+            r.avg_latency
+        );
+    }
+
+    #[test]
+    fn uniform_full_load_approaches_unity_on_a_cft() {
+        // A CFT is rearrangeably non-blocking; uniform traffic at load 1.0
+        // should be accepted at a high rate.
+        let clos = FoldedClos::cft(8, 2).unwrap();
+        let routing = UpDownRouting::new(&clos);
+        let net = SimNetwork::from_folded_clos(&clos);
+        let mut cfg = SimConfig::quick();
+        cfg.warmup_cycles = 500;
+        cfg.measure_cycles = 2_000;
+        let sim = Simulation::new(&net, &routing, cfg);
+        let r = sim.run(TrafficPattern::Uniform, 1.0, 3);
+        assert!(
+            r.accepted_load > 0.7,
+            "accepted {} too low",
+            r.accepted_load
+        );
+    }
+
+    #[test]
+    fn conservation_generated_equals_delivered_plus_backlog() {
+        let (net, routing) = tiny_sim();
+        let mut cfg = SimConfig::quick();
+        cfg.warmup_cycles = 0; // count every packet from cycle zero
+        let sim = Simulation::new(&net, &routing, cfg);
+        let r = sim.run(TrafficPattern::Uniform, 0.6, 4);
+        assert_eq!(
+            r.generated_packets,
+            r.delivered_packets + r.in_flight_at_end,
+            "no packet may vanish"
+        );
+    }
+
+    #[test]
+    fn runs_are_seed_deterministic() {
+        let (net, routing) = tiny_sim();
+        let sim = Simulation::new(&net, &routing, SimConfig::quick());
+        let a = sim.run(TrafficPattern::FixedRandom, 0.4, 9);
+        let b = sim.run(TrafficPattern::FixedRandom, 0.4, 9);
+        assert_eq!(a.delivered_packets, b.delivered_packets);
+        assert_eq!(a.avg_latency, b.avg_latency);
+        let c = sim.run(TrafficPattern::FixedRandom, 0.4, 10);
+        assert_ne!(a.delivered_packets, c.delivered_packets);
+    }
+
+    #[test]
+    fn sweep_latency_grows_with_load() {
+        let (net, routing) = tiny_sim();
+        let sim = Simulation::new(&net, &routing, SimConfig::quick());
+        let results = sim.sweep(TrafficPattern::Uniform, &[0.1, 0.9], 5);
+        assert_eq!(results.len(), 2);
+        assert!(
+            results[1].avg_latency > results[0].avg_latency,
+            "latency must rise toward saturation: {} vs {}",
+            results[0].avg_latency,
+            results[1].avg_latency
+        );
+    }
+
+    #[test]
+    fn random_pairing_on_a_cft_is_routable() {
+        let clos = FoldedClos::cft(6, 3).unwrap();
+        let routing = UpDownRouting::new(&clos);
+        let net = SimNetwork::from_folded_clos(&clos);
+        let sim = Simulation::new(&net, &routing, SimConfig::quick());
+        let r = sim.run(TrafficPattern::RandomPairing, 0.3, 6);
+        assert!(r.delivered_packets > 0);
+        assert!(r.accepted_load > 0.2);
+    }
+
+    #[test]
+    fn max_throughput_reports_saturation() {
+        let (net, routing) = tiny_sim();
+        let sim = Simulation::new(&net, &routing, SimConfig::quick());
+        let t = sim.max_throughput(TrafficPattern::Uniform, 7);
+        assert!(t > 0.3 && t <= 1.05, "throughput {t} out of range");
+    }
+
+    #[test]
+    fn probes_locate_the_incast_bottleneck() {
+        // All-to-one traffic: terminal 0's ejector saturates while the
+        // mean link sits far below it.
+        let clos = FoldedClos::cft(8, 2).unwrap();
+        let routing = UpDownRouting::new(&clos);
+        let net = SimNetwork::from_folded_clos(&clos);
+        let sim = Simulation::new(&net, &routing, SimConfig::quick());
+        let (r, probes) = sim.run_with_probes(TrafficPattern::AllToOne, 1.0, 41);
+        assert!(r.delivered_packets > 0);
+        assert!(probes.eject[0] > 0.9, "hot ejector {}", probes.eject[0]);
+        assert!(probes.eject[1..].iter().all(|&u| u == 0.0), "only terminal 0 receives");
+        assert!(probes.mean_link() < probes.eject[0]);
+    }
+
+    #[test]
+    fn probes_match_accepted_load_under_uniform() {
+        // For a fully populated network, mean ejection utilization IS
+        // the accepted load.
+        let clos = FoldedClos::cft(6, 2).unwrap();
+        let routing = UpDownRouting::new(&clos);
+        let net = SimNetwork::from_folded_clos(&clos);
+        let sim = Simulation::new(&net, &routing, SimConfig::quick());
+        let (r, probes) = sim.run_with_probes(TrafficPattern::Uniform, 0.5, 42);
+        assert!(
+            (probes.mean_eject() - r.accepted_load).abs() < 0.02,
+            "eject {} vs accepted {}",
+            probes.mean_eject(),
+            r.accepted_load
+        );
+        assert!(probes.max_link() <= 1.0 + 1e-9);
+    }
+
+    #[test]
+    fn router_latency_widens_the_level_gap() {
+        // With per-hop router cost, deeper networks pay proportionally
+        // more latency — the mechanism behind the paper's 15-20% RFC
+        // advantage at fewer levels.
+        let shallow = FoldedClos::cft(4, 2).unwrap();
+        let deep = FoldedClos::cft(4, 4).unwrap();
+        let mut cfg = SimConfig::quick();
+        cfg.router_latency = 4;
+        let lat = |clos: &FoldedClos| {
+            let routing = UpDownRouting::new(clos);
+            let net = SimNetwork::from_folded_clos(clos);
+            Simulation::new(&net, &routing, cfg).run(TrafficPattern::Uniform, 0.1, 5).avg_latency
+        };
+        let (s, d) = (lat(&shallow), lat(&deep));
+        assert!(
+            d > s + 15.0,
+            "4 extra hops at 4+1 cycles each must show: shallow {s}, deep {d}"
+        );
+    }
+
+    #[test]
+    fn candidate_table_and_live_oracle_agree_exactly() {
+        // The materialized table must be a pure cache: identical results
+        // to live oracle queries for the same seeds.
+        let clos = FoldedClos::cft(6, 3).unwrap();
+        let routing = UpDownRouting::new(&clos);
+        let net = SimNetwork::from_folded_clos(&clos);
+        let cfg = SimConfig::quick();
+        let cached = Simulation::new(&net, &routing, cfg);
+        let live = Simulation::with_table_budget(&net, &routing, cfg, 0);
+        for (pattern, load) in [
+            (TrafficPattern::Uniform, 0.4),
+            (TrafficPattern::RandomPairing, 0.8),
+        ] {
+            let a = cached.run(pattern, load, 99);
+            let b = live.run(pattern, load, 99);
+            assert_eq!(a.delivered_packets, b.delivered_packets, "{pattern}");
+            assert_eq!(a.avg_latency, b.avg_latency, "{pattern}");
+            assert_eq!(a.generated_packets, b.generated_packets, "{pattern}");
+        }
+    }
+
+    #[test]
+    fn latency_percentiles_are_ordered() {
+        let (net, routing) = tiny_sim();
+        let sim = Simulation::new(&net, &routing, SimConfig::quick());
+        let r = sim.run(TrafficPattern::Uniform, 0.5, 21);
+        assert!(r.latency_p50 <= r.latency_p95);
+        assert!(r.latency_p95 <= r.latency_p99);
+        assert!(r.latency_p50 >= 16.0, "p50 below serialization time");
+        // The mean sits between the median and the tail under load.
+        assert!(r.avg_latency >= r.latency_p50 * 0.5);
+        assert!(r.avg_latency <= r.latency_p99 * 1.5);
+    }
+
+    #[test]
+    fn hash_request_mode_still_delivers() {
+        let clos = FoldedClos::cft(6, 3).unwrap();
+        let routing = UpDownRouting::new(&clos);
+        let net = SimNetwork::from_folded_clos(&clos);
+        let mut cfg = SimConfig::quick();
+        cfg.request_mode = crate::RequestMode::UpDownHash;
+        let sim = Simulation::new(&net, &routing, cfg);
+        let r = sim.run(TrafficPattern::Uniform, 0.3, 22);
+        assert!(r.delivered_packets > 0);
+        assert!((r.accepted_load - 0.3).abs() < 0.08);
+    }
+
+    #[test]
+    fn hash_mode_saturates_below_random_mode_on_permutations() {
+        // Static hashing cannot spread a permutation across the ECMP
+        // fan-out as well as per-cycle re-randomization.
+        let clos = FoldedClos::cft(8, 3).unwrap();
+        let routing = UpDownRouting::new(&clos);
+        let net = SimNetwork::from_folded_clos(&clos);
+        let mut random_cfg = SimConfig::quick();
+        random_cfg.measure_cycles = 2_000;
+        let mut hash_cfg = random_cfg;
+        hash_cfg.request_mode = crate::RequestMode::UpDownHash;
+        let random_sat = Simulation::new(&net, &routing, random_cfg)
+            .max_throughput(TrafficPattern::RandomPairing, 23);
+        let hash_sat = Simulation::new(&net, &routing, hash_cfg)
+            .max_throughput(TrafficPattern::RandomPairing, 23);
+        assert!(
+            hash_sat <= random_sat + 0.05,
+            "hash {hash_sat} should not beat random {random_sat}"
+        );
+    }
+
+    #[test]
+    fn valiant_routing_delivers_with_longer_paths() {
+        let clos = FoldedClos::cft(6, 3).unwrap();
+        let routing = UpDownRouting::new(&clos);
+        let net = SimNetwork::from_folded_clos(&clos);
+        let direct_cfg = SimConfig::quick();
+        let mut valiant_cfg = direct_cfg;
+        valiant_cfg.valiant_routing = true;
+        let direct =
+            Simulation::new(&net, &routing, direct_cfg).run(TrafficPattern::Uniform, 0.2, 31);
+        let valiant =
+            Simulation::new(&net, &routing, valiant_cfg).run(TrafficPattern::Uniform, 0.2, 31);
+        assert!(valiant.delivered_packets > 0);
+        assert!(
+            valiant.avg_latency > direct.avg_latency,
+            "the extra bounce must cost latency: {} vs {}",
+            valiant.avg_latency,
+            direct.avg_latency
+        );
+        assert!(
+            (valiant.accepted_load - 0.2).abs() < 0.05,
+            "light load still accepted"
+        );
+    }
+
+    #[test]
+    fn valiant_costs_throughput_on_uniform_traffic() {
+        // The paper's point: RFCs do not need Valiant; turning it on
+        // under benign uniform traffic wastes roughly half the
+        // bandwidth.
+        let clos = FoldedClos::cft(8, 2).unwrap();
+        let routing = UpDownRouting::new(&clos);
+        let net = SimNetwork::from_folded_clos(&clos);
+        let mut cfg = SimConfig::quick();
+        cfg.measure_cycles = 2_000;
+        let direct =
+            Simulation::new(&net, &routing, cfg).max_throughput(TrafficPattern::Uniform, 32);
+        let mut vcfg = cfg;
+        vcfg.valiant_routing = true;
+        let valiant =
+            Simulation::new(&net, &routing, vcfg).max_throughput(TrafficPattern::Uniform, 32);
+        assert!(
+            valiant < direct * 0.85,
+            "valiant {valiant} should clearly undercut direct {direct}"
+        );
+    }
+
+    #[test]
+    fn faulty_network_refuses_unroutable_pairs() {
+        // Cut leaf 0 off from the spine: its packets are unroutable and
+        // counted as refused, but the rest of the network still works.
+        let clos = FoldedClos::cft(4, 2).unwrap();
+        let faults: Vec<_> = clos.links().into_iter().filter(|l| l.lower == 0).collect();
+        let faulty = clos.with_links_removed(&faults);
+        let routing = UpDownRouting::new(&faulty);
+        let net = SimNetwork::from_folded_clos(&faulty);
+        let sim = Simulation::new(&net, &routing, SimConfig::quick());
+        let r = sim.run(TrafficPattern::Uniform, 0.5, 8);
+        assert!(r.refused_packets > 0, "leaf 0 sources must be refused");
+        assert!(r.delivered_packets > 0, "other leaves keep communicating");
+    }
+}

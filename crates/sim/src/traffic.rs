@@ -1,0 +1,248 @@
+//! Synthetic datacenter traffic patterns (Section 6 of the paper).
+
+use rand::Rng;
+
+/// The three synthetic patterns of the paper (adapted from the
+/// Blue Gene/Q evaluation they cite).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[non_exhaustive]
+pub enum TrafficPattern {
+    /// Every packet targets a compute node drawn uniformly at random
+    /// (excluding the source) — the dominant datacenter load.
+    Uniform,
+    /// The nodes are split into random pairs at start-up; each node sends
+    /// only to its partner (a random permutation built from transpositions).
+    RandomPairing,
+    /// Each node picks one uniformly random fixed destination at start-up;
+    /// several nodes may pick the same target, creating hot spots.
+    FixedRandom,
+    /// Perfect-shuffle permutation (`dst = rotate-left(src)` over the
+    /// terminal id bits, sized to the terminal count): the classic
+    /// adversarial pattern for multistage networks. *Extension — not in
+    /// the paper's evaluation.*
+    Shuffle,
+    /// Every node sends to terminal 0: the worst-case incast hot spot.
+    /// *Extension — not in the paper's evaluation.*
+    AllToOne,
+}
+
+impl TrafficPattern {
+    /// Short name used in reports.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            TrafficPattern::Uniform => "uniform",
+            TrafficPattern::RandomPairing => "random-pairing",
+            TrafficPattern::FixedRandom => "fixed-random",
+            TrafficPattern::Shuffle => "shuffle",
+            TrafficPattern::AllToOne => "all-to-one",
+        }
+    }
+
+    /// The three patterns of the paper's evaluation, in presentation
+    /// order (the extensions [`TrafficPattern::Shuffle`] and
+    /// [`TrafficPattern::AllToOne`] are not included).
+    pub const ALL: [TrafficPattern; 3] = [
+        TrafficPattern::Uniform,
+        TrafficPattern::RandomPairing,
+        TrafficPattern::FixedRandom,
+    ];
+}
+
+impl std::fmt::Display for TrafficPattern {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+/// Instantiated traffic state: yields a destination per generated packet.
+#[derive(Debug, Clone)]
+pub(crate) enum TrafficState {
+    Uniform { terminals: u32 },
+    Fixed { dest: Vec<Option<u32>> },
+}
+
+impl TrafficState {
+    /// Builds the per-run state. `RandomPairing` draws a random perfect
+    /// matching (the odd terminal out, if any, stays silent);
+    /// `FixedRandom` draws one destination per source.
+    pub(crate) fn new<R: Rng + ?Sized>(
+        pattern: TrafficPattern,
+        terminals: usize,
+        rng: &mut R,
+    ) -> Self {
+        match pattern {
+            TrafficPattern::Uniform => TrafficState::Uniform {
+                terminals: terminals as u32,
+            },
+            TrafficPattern::RandomPairing => {
+                let mut ids: Vec<u32> = (0..terminals as u32).collect();
+                // Fisher-Yates, then pair consecutive entries.
+                for i in (1..ids.len()).rev() {
+                    let j = rng.gen_range(0..=i);
+                    ids.swap(i, j);
+                }
+                let mut dest = vec![None; terminals];
+                for chunk in ids.chunks_exact(2) {
+                    dest[chunk[0] as usize] = Some(chunk[1]);
+                    dest[chunk[1] as usize] = Some(chunk[0]);
+                }
+                TrafficState::Fixed { dest }
+            }
+            TrafficPattern::FixedRandom => {
+                let dest = (0..terminals as u32)
+                    .map(|src| {
+                        if terminals < 2 {
+                            return None;
+                        }
+                        let mut d = rng.gen_range(0..terminals as u32);
+                        while d == src {
+                            d = rng.gen_range(0..terminals as u32);
+                        }
+                        Some(d)
+                    })
+                    .collect();
+                TrafficState::Fixed { dest }
+            }
+            TrafficPattern::Shuffle => {
+                // Perfect shuffle over ceil(log2(T)) bits; destinations
+                // that fall outside 0..T or map to the source stay
+                // silent, so the pattern degrades gracefully for
+                // non-power-of-two populations.
+                let bits = (terminals.max(2) as u32)
+                    .next_power_of_two()
+                    .trailing_zeros();
+                let dest = (0..terminals as u32)
+                    .map(|src| {
+                        let rotated = ((src << 1) | (src >> (bits - 1))) & ((1u32 << bits) - 1);
+                        (rotated != src && (rotated as usize) < terminals).then_some(rotated)
+                    })
+                    .collect();
+                TrafficState::Fixed { dest }
+            }
+            TrafficPattern::AllToOne => {
+                let dest = (0..terminals as u32)
+                    .map(|src| (src != 0).then_some(0))
+                    .collect();
+                TrafficState::Fixed { dest }
+            }
+        }
+    }
+
+    /// Destination for a packet generated at `src`, or `None` if `src`
+    /// does not transmit under this pattern.
+    pub(crate) fn dest<R: Rng + ?Sized>(&self, src: u32, rng: &mut R) -> Option<u32> {
+        match self {
+            TrafficState::Uniform { terminals } => {
+                if *terminals < 2 {
+                    return None;
+                }
+                let mut d = rng.gen_range(0..*terminals);
+                while d == src {
+                    d = rng.gen_range(0..*terminals);
+                }
+                Some(d)
+            }
+            TrafficState::Fixed { dest } => dest[src as usize],
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn uniform_never_targets_self() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let t = TrafficState::new(TrafficPattern::Uniform, 8, &mut rng);
+        for _ in 0..200 {
+            let d = t.dest(3, &mut rng).unwrap();
+            assert_ne!(d, 3);
+            assert!(d < 8);
+        }
+    }
+
+    #[test]
+    fn pairing_is_an_involution() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let t = TrafficState::new(TrafficPattern::RandomPairing, 16, &mut rng);
+        for src in 0..16u32 {
+            let d = t.dest(src, &mut rng).expect("even count: everyone paired");
+            assert_ne!(d, src);
+            assert_eq!(t.dest(d, &mut rng), Some(src), "partner of partner");
+        }
+    }
+
+    #[test]
+    fn pairing_with_odd_count_leaves_one_silent() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let t = TrafficState::new(TrafficPattern::RandomPairing, 7, &mut rng);
+        let silent = (0..7u32).filter(|&s| t.dest(s, &mut rng).is_none()).count();
+        assert_eq!(silent, 1);
+    }
+
+    #[test]
+    fn fixed_random_is_stable_but_not_a_permutation_in_general() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let t = TrafficState::new(TrafficPattern::FixedRandom, 32, &mut rng);
+        for src in 0..32u32 {
+            let a = t.dest(src, &mut rng).unwrap();
+            let b = t.dest(src, &mut rng).unwrap();
+            assert_eq!(a, b, "fixed destination");
+            assert_ne!(a, src);
+        }
+    }
+
+    #[test]
+    fn single_terminal_patterns_are_silent() {
+        let mut rng = StdRng::seed_from_u64(5);
+        for p in TrafficPattern::ALL {
+            let t = TrafficState::new(p, 1, &mut rng);
+            assert_eq!(t.dest(0, &mut rng), None, "{p}");
+        }
+    }
+
+    #[test]
+    fn shuffle_is_the_bit_rotation_on_powers_of_two() {
+        let mut rng = StdRng::seed_from_u64(6);
+        let t = TrafficState::new(TrafficPattern::Shuffle, 16, &mut rng);
+        // 4 bits: 0b0001 -> 0b0010, 0b1000 -> 0b0001.
+        assert_eq!(t.dest(1, &mut rng), Some(2));
+        assert_eq!(t.dest(8, &mut rng), Some(1));
+        assert_eq!(t.dest(0, &mut rng), None, "fixed point stays silent");
+        assert_eq!(t.dest(15, &mut rng), None, "all-ones is a fixed point");
+    }
+
+    #[test]
+    fn shuffle_handles_non_power_of_two() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let t = TrafficState::new(TrafficPattern::Shuffle, 12, &mut rng);
+        for src in 0..12u32 {
+            if let Some(d) = t.dest(src, &mut rng) {
+                assert!(d < 12);
+                assert_ne!(d, src);
+            }
+        }
+    }
+
+    #[test]
+    fn all_to_one_targets_terminal_zero() {
+        let mut rng = StdRng::seed_from_u64(8);
+        let t = TrafficState::new(TrafficPattern::AllToOne, 9, &mut rng);
+        assert_eq!(t.dest(0, &mut rng), None);
+        for src in 1..9u32 {
+            assert_eq!(t.dest(src, &mut rng), Some(0));
+        }
+    }
+
+    #[test]
+    fn names_are_stable() {
+        assert_eq!(TrafficPattern::Uniform.to_string(), "uniform");
+        assert_eq!(TrafficPattern::RandomPairing.to_string(), "random-pairing");
+        assert_eq!(TrafficPattern::FixedRandom.to_string(), "fixed-random");
+        assert_eq!(TrafficPattern::Shuffle.to_string(), "shuffle");
+        assert_eq!(TrafficPattern::AllToOne.to_string(), "all-to-one");
+    }
+}

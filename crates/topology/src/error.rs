@@ -1,0 +1,99 @@
+//! Error type for topology construction.
+
+use std::error::Error as StdError;
+use std::fmt;
+
+use rfc_galois::FieldError;
+use rfc_graph::GenerationError;
+
+/// Error constructing or expanding a topology.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum TopologyError {
+    /// A structural parameter is invalid (odd radix, too few levels, …).
+    InvalidParameter {
+        /// Description of the violated constraint.
+        reason: String,
+    },
+    /// Random generation of a stage failed.
+    Generation(GenerationError),
+    /// The OFT order is not a prime power (or too large).
+    Field(FieldError),
+    /// An operation applies only to a specific topology kind
+    /// (e.g. incremental expansion of a non-random folded Clos).
+    WrongKind {
+        /// What was attempted.
+        operation: &'static str,
+        /// The kind it was attempted on.
+        found: &'static str,
+    },
+}
+
+impl TopologyError {
+    pub(crate) fn invalid(reason: impl Into<String>) -> Self {
+        TopologyError::InvalidParameter {
+            reason: reason.into(),
+        }
+    }
+}
+
+impl fmt::Display for TopologyError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TopologyError::InvalidParameter { reason } => {
+                write!(f, "invalid topology parameter: {reason}")
+            }
+            TopologyError::Generation(e) => write!(f, "stage generation failed: {e}"),
+            TopologyError::Field(e) => write!(f, "projective plane unavailable: {e}"),
+            TopologyError::WrongKind { operation, found } => {
+                write!(f, "{operation} is not applicable to a {found} topology")
+            }
+        }
+    }
+}
+
+impl StdError for TopologyError {
+    fn source(&self) -> Option<&(dyn StdError + 'static)> {
+        match self {
+            TopologyError::Generation(e) => Some(e),
+            TopologyError::Field(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<GenerationError> for TopologyError {
+    fn from(e: GenerationError) -> Self {
+        TopologyError::Generation(e)
+    }
+}
+
+impl From<FieldError> for TopologyError {
+    fn from(e: FieldError) -> Self {
+        TopologyError::Field(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_variants() {
+        let e = TopologyError::invalid("radix must be even");
+        assert!(e.to_string().contains("radix"));
+        let e = TopologyError::WrongKind {
+            operation: "expansion",
+            found: "cft",
+        };
+        assert!(e.to_string().contains("expansion"));
+    }
+
+    #[test]
+    fn sources_are_preserved() {
+        use std::error::Error;
+        let inner = GenerationError::RestartLimitExceeded { restarts: 1 };
+        let e = TopologyError::from(inner);
+        assert!(e.source().is_some());
+    }
+}

@@ -1,0 +1,143 @@
+//! The [`Network`] trait: a uniform view over direct and indirect
+//! topologies for the cost and resiliency studies.
+
+use rfc_graph::Csr;
+
+use crate::{FoldedClos, Rrn};
+
+/// Common interface over every topology compared in the paper.
+///
+/// Both the indirect folded Clos family ([`FoldedClos`]) and the direct
+/// random regular network ([`Rrn`]) expose their switch-level graph,
+/// inter-switch links, and cost figures through this trait; the Table 3
+/// and Figure 7 drivers are written against it.
+pub trait Network {
+    /// Short human-readable label (e.g. `"cft(R=36, l=3)"`).
+    fn label(&self) -> String;
+
+    /// Number of switches.
+    fn num_switches(&self) -> usize;
+
+    /// Number of compute nodes.
+    fn num_terminals(&self) -> usize;
+
+    /// Hardware switch radix (ports per switch, including terminal ports).
+    fn max_radix(&self) -> usize;
+
+    /// Every switch-to-switch link once.
+    fn switch_links(&self) -> Vec<(u32, u32)>;
+
+    /// The switch-level graph.
+    fn switch_graph(&self) -> Csr {
+        Csr::from_edges(self.num_switches(), &self.switch_links())
+    }
+
+    /// Number of switch-to-switch links.
+    fn num_switch_links(&self) -> usize {
+        self.switch_links().len()
+    }
+
+    /// Total switch ports in use: two per inter-switch wire plus one per
+    /// terminal (the paper's Figure 7 cost measure).
+    fn num_ports(&self) -> usize {
+        2 * self.num_switch_links() + self.num_terminals()
+    }
+}
+
+impl Network for FoldedClos {
+    fn label(&self) -> String {
+        format!(
+            "{}(R={}, l={})",
+            self.kind(),
+            self.radix(),
+            self.num_levels()
+        )
+    }
+
+    fn num_switches(&self) -> usize {
+        FoldedClos::num_switches(self)
+    }
+
+    fn num_terminals(&self) -> usize {
+        FoldedClos::num_terminals(self)
+    }
+
+    fn max_radix(&self) -> usize {
+        self.radix()
+    }
+
+    fn switch_links(&self) -> Vec<(u32, u32)> {
+        self.links()
+            .into_iter()
+            .map(|l| (l.lower, l.upper))
+            .collect()
+    }
+
+    fn switch_graph(&self) -> Csr {
+        FoldedClos::switch_graph(self)
+    }
+}
+
+impl Network for Rrn {
+    fn label(&self) -> String {
+        format!(
+            "rrn(N={}, delta={}, hosts={})",
+            self.num_switches(),
+            self.degree(),
+            self.hosts_per_switch()
+        )
+    }
+
+    fn num_switches(&self) -> usize {
+        Rrn::num_switches(self)
+    }
+
+    fn num_terminals(&self) -> usize {
+        Rrn::num_terminals(self)
+    }
+
+    fn max_radix(&self) -> usize {
+        Rrn::max_radix(self)
+    }
+
+    fn switch_links(&self) -> Vec<(u32, u32)> {
+        self.links()
+    }
+
+    fn switch_graph(&self) -> Csr {
+        self.graph()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn folded_clos_through_the_trait() {
+        let t = FoldedClos::cft(4, 3).unwrap();
+        let n: &dyn Network = &t;
+        assert_eq!(n.num_switches(), 20);
+        assert_eq!(n.num_terminals(), 16);
+        assert_eq!(n.max_radix(), 4);
+        assert_eq!(n.num_switch_links(), 32);
+        assert_eq!(n.num_ports(), 2 * 32 + 16);
+        assert!(n.label().contains("cft"));
+        assert_eq!(n.switch_graph().num_edges(), 32);
+    }
+
+    #[test]
+    fn rrn_through_the_trait() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let net = Rrn::new(12, 4, 3, &mut rng).unwrap();
+        let n: &dyn Network = &net;
+        assert_eq!(n.num_switches(), 12);
+        assert_eq!(n.num_terminals(), 36);
+        assert_eq!(n.max_radix(), 7);
+        assert_eq!(n.num_switch_links(), 24);
+        assert_eq!(n.num_ports(), 48 + 36);
+        assert!(n.label().contains("rrn"));
+    }
+}

@@ -1,0 +1,175 @@
+//! Random folded Clos construction — the paper's proposal.
+
+use rand::Rng;
+
+use rfc_graph::random::random_bipartite;
+
+use crate::{CloKind, FoldedClos, TopologyError};
+
+impl FoldedClos {
+    /// Builds a radix-regular **random folded Clos** (Definition 4.1):
+    /// `levels - 1` levels of `n1` switches plus a root level of `n1 / 2`
+    /// switches, with every stage an independent uniform random
+    /// semiregular bipartite graph (the paper's Listing 2), and `R/2`
+    /// compute nodes per leaf.
+    ///
+    /// The totals match the paper's accounting: `T = n1 · R/2` terminals,
+    /// `(levels - 1) · n1 · R/2` inter-switch wires and
+    /// `(levels - 0.5) · n1` switches.
+    ///
+    /// Whether the result supports up/down routing (every leaf pair shares
+    /// an ancestor) is probabilistic and governed by Theorem 4.2; check it
+    /// with the routing crate and regenerate if needed.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TopologyError::InvalidParameter`] when `radix` is odd or
+    /// `< 2`, `n1` is odd or too small for simple stages
+    /// (`radix > n1`), or `levels < 2`; [`TopologyError::Generation`] if
+    /// stage generation fails.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use rand::SeedableRng;
+    /// use rfc_topology::FoldedClos;
+    ///
+    /// let mut rng = rand::rngs::StdRng::seed_from_u64(4);
+    /// // The paper's Figure 4: RFC of radix 4, 16 leaves, 4 levels.
+    /// let t = FoldedClos::random(4, 16, 4, &mut rng)?;
+    /// assert_eq!(t.num_terminals(), 32);
+    /// assert!(t.is_radix_regular());
+    /// # Ok::<(), rfc_topology::TopologyError>(())
+    /// ```
+    pub fn random<R: Rng + ?Sized>(
+        radix: usize,
+        n1: usize,
+        levels: usize,
+        rng: &mut R,
+    ) -> Result<FoldedClos, TopologyError> {
+        if radix < 2 || !radix.is_multiple_of(2) {
+            return Err(TopologyError::invalid(format!(
+                "radix must be even and >= 2, got {radix}"
+            )));
+        }
+        if levels < 2 {
+            return Err(TopologyError::invalid(format!(
+                "levels must be >= 2, got {levels}"
+            )));
+        }
+        if !n1.is_multiple_of(2) || n1 == 0 {
+            return Err(TopologyError::invalid(format!(
+                "n1 must be even and > 0, got {n1}"
+            )));
+        }
+        if radix > n1 {
+            return Err(TopologyError::invalid(format!(
+                "radix {radix} exceeds n1 = {n1}: the top stage cannot be simple"
+            )));
+        }
+        let half = radix / 2;
+        let mut level_sizes = vec![n1; levels - 1];
+        level_sizes.push(n1 / 2);
+        let mut stages = Vec::with_capacity(levels - 1);
+        for stage_idx in 0..levels - 1 {
+            let stage = if stage_idx == levels - 2 {
+                random_bipartite(n1, half, n1 / 2, radix, rng)?
+            } else {
+                random_bipartite(n1, half, n1, half, rng)?
+            };
+            stages.push(stage);
+        }
+        FoldedClos::from_stages(CloKind::RandomFoldedClos, radix, half, &level_sizes, stages)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use rfc_graph::connectivity::is_connected;
+
+    #[test]
+    fn figure_4_shape() {
+        let mut rng = StdRng::seed_from_u64(44);
+        let t = FoldedClos::random(4, 16, 4, &mut rng).unwrap();
+        assert_eq!(t.num_levels(), 4);
+        assert_eq!(t.level_size(0), 16);
+        assert_eq!(t.level_size(1), 16);
+        assert_eq!(t.level_size(2), 16);
+        assert_eq!(t.level_size(3), 8);
+        assert_eq!(t.num_terminals(), 32);
+        assert!(t.is_radix_regular());
+        t.validate().unwrap();
+    }
+
+    #[test]
+    fn paper_section_5_resource_counts() {
+        // 3-level RFC, radix 36, N1 = 2*2778 = 5556 (the 100K scenario):
+        // 13,890 switches and 200,016 inter-switch wires.
+        let mut rng = StdRng::seed_from_u64(100);
+        let t = FoldedClos::random(36, 5556, 3, &mut rng).unwrap();
+        assert_eq!(t.num_terminals(), 100_008);
+        assert_eq!(t.num_switches(), 13_890);
+        assert_eq!(t.num_links(), 200_016);
+    }
+
+    #[test]
+    fn equal_resources_with_cft() {
+        // Section 5: an RFC with the same levels, radix and N1 as the CFT
+        // has identical switch, wire and terminal counts.
+        let cft = FoldedClos::cft(8, 3).unwrap();
+        let mut rng = StdRng::seed_from_u64(7);
+        let rfc = FoldedClos::random(8, cft.num_leaves(), 3, &mut rng).unwrap();
+        assert_eq!(rfc.num_switches(), cft.num_switches());
+        assert_eq!(rfc.num_links(), cft.num_links());
+        assert_eq!(rfc.num_terminals(), cft.num_terminals());
+        assert_eq!(rfc.num_switch_ports(), cft.num_switch_ports());
+    }
+
+    #[test]
+    fn random_clos_is_usually_connected() {
+        let mut rng = StdRng::seed_from_u64(5);
+        for _ in 0..3 {
+            let t = FoldedClos::random(8, 32, 3, &mut rng).unwrap();
+            assert!(is_connected(&t.switch_graph()));
+        }
+    }
+
+    #[test]
+    fn rejects_bad_parameters() {
+        let mut rng = StdRng::seed_from_u64(0);
+        assert!(FoldedClos::random(5, 16, 3, &mut rng).is_err(), "odd radix");
+        assert!(FoldedClos::random(4, 15, 3, &mut rng).is_err(), "odd n1");
+        assert!(FoldedClos::random(4, 16, 1, &mut rng).is_err(), "one level");
+        assert!(FoldedClos::random(8, 4, 3, &mut rng).is_err(), "radix > n1");
+    }
+
+    #[test]
+    fn generation_is_seed_deterministic() {
+        let a = FoldedClos::random(8, 32, 3, &mut StdRng::seed_from_u64(9)).unwrap();
+        let b = FoldedClos::random(8, 32, 3, &mut StdRng::seed_from_u64(9)).unwrap();
+        assert_eq!(a.links(), b.links());
+    }
+
+    #[test]
+    fn stages_differ_between_seeds() {
+        let a = FoldedClos::random(8, 32, 3, &mut StdRng::seed_from_u64(1)).unwrap();
+        let b = FoldedClos::random(8, 32, 3, &mut StdRng::seed_from_u64(2)).unwrap();
+        assert_ne!(
+            a.links(),
+            b.links(),
+            "different seeds give different wirings"
+        );
+    }
+
+    #[test]
+    fn minimal_rfc_two_levels() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let t = FoldedClos::random(2, 2, 2, &mut rng).unwrap();
+        assert_eq!(t.num_switches(), 3);
+        assert_eq!(t.num_terminals(), 2);
+        assert!(t.is_radix_regular());
+    }
+}

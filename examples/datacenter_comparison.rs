@@ -1,0 +1,69 @@
+//! The paper's headline comparison at example scale: a commodity
+//! fat-tree and a random folded Clos with *equal resources* (same radix,
+//! switches, wires, terminals), simulated under the three synthetic
+//! datacenter traffic patterns.
+//!
+//! ```text
+//! cargo run --release --example datacenter_comparison
+//! ```
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use rfc_net::experiments::simfig;
+use rfc_net::scenarios::{equal_resources, Scale};
+use rfc_net::sim::{SimConfig, TrafficPattern};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let mut rng = StdRng::seed_from_u64(2017);
+    let scenario = equal_resources(Scale::Small, &mut rng)?;
+    println!("scenario `{}`:", scenario.name);
+    for net in &scenario.nets {
+        println!(
+            "  {:<16} {} switches, {} wires, {} terminals",
+            net.label,
+            net.clos.num_switches(),
+            net.clos.num_links(),
+            net.terminals
+        );
+    }
+
+    let mut cfg = SimConfig::quick();
+    cfg.warmup_cycles = 1_000;
+    cfg.measure_cycles = 4_000;
+    let loads = [0.2, 0.4, 0.6, 0.8, 1.0];
+    let points = simfig::run(&scenario, &TrafficPattern::ALL, &loads, cfg, 2017);
+
+    for pattern in TrafficPattern::ALL {
+        println!("\n--- {pattern} ---");
+        println!(
+            "{:>8}  {:>22}  {:>22}",
+            "load", "accepted / latency", "accepted / latency"
+        );
+        println!(
+            "{:>8}  {:>22}  {:>22}",
+            "", scenario.nets[0].label, scenario.nets[1].label
+        );
+        for &load in &loads {
+            let cell = |net: &str| {
+                points
+                    .iter()
+                    .find(|p| p.net == net && p.pattern == pattern && p.offered == load)
+                    .map(|p| format!("{:.2} / {:>6.1}", p.accepted, p.latency))
+                    .unwrap_or_else(|| "-".into())
+            };
+            println!(
+                "{load:>8.2}  {:>22}  {:>22}",
+                cell(&scenario.nets[0].label),
+                cell(&scenario.nets[1].label)
+            );
+        }
+        let sat_cft = simfig::saturation(&points, &scenario.nets[0].label, pattern);
+        let sat_rfc = simfig::saturation(&points, &scenario.nets[1].label, pattern);
+        println!(
+            "saturation: cft {sat_cft:.2}, rfc {sat_rfc:.2} ({:.0}% of cft)",
+            100.0 * sat_rfc / sat_cft
+        );
+    }
+    Ok(())
+}

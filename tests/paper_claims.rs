@@ -1,0 +1,136 @@
+//! The paper's quantitative claims, asserted literally against the
+//! implementation (Sections 3–5 and the abstract).
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use rfc_net::cost;
+use rfc_net::theory;
+use rfc_net::topology::FoldedClos;
+
+#[test]
+fn abstract_same_nodes_much_lower_cost() {
+    // "Being able up to connect the same number of compute nodes ...
+    // and giving similar performance" at far lower cost: the 100K case
+    // connects 100,008 nodes with a 3-level RFC where the CFT needs a
+    // fully equipped 4-level fabric.
+    let rfc = cost::rfc_cost(36, 5_556, 3);
+    let cft = cost::cft_cost(36, 4);
+    assert_eq!(rfc.terminals, 100_008);
+    assert!(cft.terminals >= 100_008);
+    assert!(rfc.switches * 2 < cft.switches);
+    assert!(rfc.switch_wires * 3 < cft.switch_wires);
+}
+
+#[test]
+fn section3_cft_doubles_kary_tree() {
+    for (r, l) in [(4usize, 3usize), (8, 3), (12, 4)] {
+        let cft = FoldedClos::cft(r, l).unwrap();
+        let kary = FoldedClos::kary_tree(r / 2, l).unwrap();
+        assert_eq!(cft.num_terminals(), 2 * kary.num_terminals(), "R={r} l={l}");
+    }
+}
+
+#[test]
+fn section4_diameter_4_comparison() {
+    // RFC ~ 202,554 vs CFT 11,664 vs RRN ~ 227,730 terminals.
+    let rfc = theory::rfc_max_terminals(36, 3).unwrap();
+    assert!(rfc > 200_000 && rfc < 206_000);
+    assert_eq!(theory::cft_terminals(36, 3), 11_664);
+    let rrn = 22_773 * 10; // the paper's RRN example
+    let ratio = rrn as f64 / rfc as f64;
+    assert!(
+        (1.05..1.20).contains(&ratio),
+        "RRN ~12% above the RFC: {ratio}"
+    );
+}
+
+#[test]
+fn section4_bisection_constants() {
+    assert!((theory::rfc_normalized_bisection(10_000, 2, 36) - 0.80).abs() < 0.015);
+    assert!((theory::rfc_normalized_bisection(10_000, 3, 36) - 0.86).abs() < 0.015);
+    assert!((theory::rrn_normalized_bisection(26, 10) - 0.88).abs() < 0.015);
+}
+
+#[test]
+fn section5_200k_savings() {
+    // "savings of 31% and 36% in switches and wires".
+    let [_, _, c200] = cost::paper_case_studies();
+    assert_eq!(c200.rfc.terminals, 202_572);
+    assert_eq!(c200.cft.terminals, 209_952);
+    assert!((c200.switch_savings() - 0.311).abs() < 0.005);
+    assert!((c200.wire_savings() - 0.357).abs() < 0.005);
+}
+
+#[test]
+fn section5_radix_20_alternative() {
+    // "a RFC with almost the same number of compute nodes can be
+    // implemented with 20-radix routers ... 1,166 first-level routers
+    // for a total of 11,660 compute nodes" at similar wire cost.
+    let mut rng = StdRng::seed_from_u64(20);
+    let alt = FoldedClos::random(20, 1_166, 3, &mut rng).unwrap();
+    assert_eq!(alt.num_terminals(), 11_660);
+    let main = FoldedClos::cft(36, 3).unwrap();
+    let wire_ratio = alt.num_links() as f64 / main.num_links() as f64;
+    assert!(
+        (wire_ratio - 1.0).abs() < 0.01,
+        "similar cost in wires: {wire_ratio}"
+    );
+    // And the threshold admits it.
+    assert!(theory::max_leaves_at_threshold(20, 3).unwrap() >= 1_166);
+}
+
+#[test]
+fn section5_expansion_step_is_radix_nodes() {
+    // "at each incremental expansion it is possible to add R new
+    // compute nodes" with 2 switches per level and 1 root.
+    let mut rng = StdRng::seed_from_u64(5);
+    let mut net = FoldedClos::random(12, 48, 3, &mut rng).unwrap();
+    let t0 = net.num_terminals();
+    let s0 = net.num_switches();
+    let report = rfc_net::topology::expansion::expand_rfc(&mut net, 1, &mut rng).unwrap();
+    assert_eq!(net.num_terminals() - t0, 12);
+    assert_eq!(net.num_switches() - s0, 5);
+    assert_eq!(report.added_terminals, 12);
+}
+
+#[test]
+fn theorem_42_x0_probability_is_1_over_e() {
+    let p = theory::updown_probability(0.0);
+    assert!((p - 0.3679).abs() < 1e-3);
+    // "if R = 2(N1 ln N1 + ln ln N1)^(1/(2(l-1))) the probability tends
+    // to 1": positive slack drives P up.
+    assert!(theory::updown_probability(3.0) > 0.95);
+    assert!(theory::updown_probability(-3.0) < 0.05);
+}
+
+#[test]
+fn figure_1_and_2_shapes() {
+    // Figure 1: the 4-port 4-tree; Figure 2: the 2-level OFT of order 2.
+    let f1 = FoldedClos::cft(4, 4).unwrap();
+    assert_eq!(f1.num_terminals(), 32);
+    assert_eq!(f1.num_switches(), 16 * 3 + 8);
+    let f2 = FoldedClos::oft(2, 2).unwrap();
+    assert_eq!(f2.num_leaves(), 14);
+    assert_eq!(f2.level_size(1), 7);
+}
+
+#[test]
+fn figure_3_network_matches_caption() {
+    // "A random network with 16 routers of degree 4 and 2 compute nodes
+    // per router."
+    let mut rng = StdRng::seed_from_u64(3);
+    let rrn = rfc_net::Rrn::new(16, 4, 2, &mut rng).unwrap();
+    assert_eq!(rrn.num_terminals(), 32);
+    assert!(rrn.graph().is_regular(4));
+}
+
+#[test]
+fn figure_4_network_matches_caption() {
+    // "RFC of radix 4, N1 = 16 and 4 levels."
+    let mut rng = StdRng::seed_from_u64(4);
+    let rfc = FoldedClos::random(4, 16, 4, &mut rng).unwrap();
+    assert_eq!(rfc.num_levels(), 4);
+    assert_eq!(rfc.num_leaves(), 16);
+    assert!(rfc.is_radix_regular());
+}
