@@ -1,0 +1,46 @@
+//! Criterion bench for the parallel execution layer: a Figure-8-shaped
+//! load sweep (`simfig::run`) at 1 thread, 2 threads, and all available
+//! cores. Comparing the three rows shows the scaling of the worker pool;
+//! the results themselves are byte-identical at every thread count.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use rfc_net::experiments::simfig;
+use rfc_net::parallel;
+use rfc_net::scenarios::{equal_resources, Scale};
+use rfc_net::sim::{SimConfig, TrafficPattern};
+
+fn bench_parallel_sweep(c: &mut Criterion) {
+    let mut group = c.benchmark_group("parallel_sweep");
+    group.sample_size(10);
+
+    let mut rng = StdRng::seed_from_u64(8);
+    let scenario = equal_resources(Scale::Small, &mut rng).expect("scenario construction");
+    let mut cfg = SimConfig::quick();
+    cfg.warmup_cycles = 500;
+    cfg.measure_cycles = 1_500;
+    let patterns = [TrafficPattern::Uniform, TrafficPattern::Shuffle];
+    let loads = [0.2f64, 0.4, 0.6, 0.8, 1.0];
+
+    let all = std::thread::available_parallelism().map_or(1, |n| n.get());
+    let mut counts: Vec<usize> = [1, 2, all].into_iter().filter(|&t| t <= all).collect();
+    counts.sort_unstable();
+    counts.dedup();
+    for &threads in &counts {
+        group.bench_with_input(
+            BenchmarkId::new("fig8_small", format!("{threads}t")),
+            &threads,
+            |b, &threads| {
+                parallel::set_threads(Some(threads));
+                b.iter(|| simfig::run(&scenario, &patterns, &loads, cfg, 2017));
+                parallel::set_threads(None);
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_parallel_sweep);
+criterion_main!(benches);

@@ -8,13 +8,15 @@ fn main() {
     let mut rng = rfc_bench::rng();
     let scenario = rfc_net::scenarios::maximum_expansion(rfc_bench::scale(), &mut rng)
         .expect("scenario construction");
-    simfig::report(
-        &scenario,
-        &TrafficPattern::ALL,
-        &simfig::default_loads(),
-        rfc_bench::sim_config(),
-        rfc_bench::seed(),
-        &format!("fig10-maximum-{}", rfc_bench::scale()),
-    )
+    rfc_bench::timed("fig10 sweep", || {
+        simfig::report(
+            &scenario,
+            &TrafficPattern::ALL,
+            &simfig::default_loads(),
+            rfc_bench::sim_config(),
+            rfc_bench::seed(),
+            &format!("fig10-maximum-{}", rfc_bench::scale()),
+        )
+    })
     .emit();
 }

@@ -13,14 +13,16 @@ fn main() {
         rfc_bench::Scale::Small => 6,
         _ => 12,
     };
-    fig12::report(
-        &scenario,
-        &TrafficPattern::ALL,
-        steps,
-        0.013,
-        rfc_bench::sim_config(),
-        &mut rng,
-        &format!("fig12-faults-{}", rfc_bench::scale()),
-    )
+    rfc_bench::timed("fig12 fault sweep", || {
+        fig12::report(
+            &scenario,
+            &TrafficPattern::ALL,
+            steps,
+            0.013,
+            rfc_bench::sim_config(),
+            &mut rng,
+            &format!("fig12-faults-{}", rfc_bench::scale()),
+        )
+    })
     .emit();
 }

@@ -9,13 +9,15 @@ fn main() {
     let mut rng = rfc_bench::rng();
     let scenario = rfc_net::scenarios::equal_resources(rfc_bench::scale(), &mut rng)
         .expect("scenario construction");
-    simfig::report(
-        &scenario,
-        &TrafficPattern::ALL,
-        &simfig::default_loads(),
-        rfc_bench::sim_config(),
-        rfc_bench::seed(),
-        &format!("fig8-equal-resources-{}", rfc_bench::scale()),
-    )
+    rfc_bench::timed("fig8 sweep", || {
+        simfig::report(
+            &scenario,
+            &TrafficPattern::ALL,
+            &simfig::default_loads(),
+            rfc_bench::sim_config(),
+            rfc_bench::seed(),
+            &format!("fig8-equal-resources-{}", rfc_bench::scale()),
+        )
+    })
     .emit();
 }

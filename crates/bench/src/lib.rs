@@ -13,6 +13,9 @@
 //! * `RFC_SEED` — RNG seed (default 2017, the paper's year).
 //! * `RFC_TRIALS` — trial count for the Monte-Carlo experiments
 //!   (Table 3, Figure 11; default depends on the binary).
+//! * `RFC_THREADS` — worker threads for the parallel sweep/trial stages
+//!   (default: all cores; see [`rfc_net::parallel`]). Results are
+//!   identical at any thread count.
 
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -65,6 +68,20 @@ pub fn sim_config() -> rfc_net::sim::SimConfig {
     cfg
 }
 
+/// Runs `f` (typically one figure's sweep) and prints its wall-clock
+/// time and thread count to stderr, keeping stdout clean for the report
+/// rows.
+pub fn timed<T>(label: &str, f: impl FnOnce() -> T) -> T {
+    let start = std::time::Instant::now();
+    let value = f();
+    eprintln!(
+        "# {label}: {:.2}s wall-clock on {} thread(s)",
+        start.elapsed().as_secs_f64(),
+        rfc_net::parallel::current_threads()
+    );
+    value
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -74,5 +91,10 @@ mod tests {
         assert_eq!(trials(42), 42);
         assert!(seed() > 0);
         let _ = sim_config();
+    }
+
+    #[test]
+    fn timed_returns_the_closure_value() {
+        assert_eq!(timed("test", || 7), 7);
     }
 }

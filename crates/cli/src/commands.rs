@@ -6,7 +6,8 @@ use rand::rngs::StdRng;
 use rand::SeedableRng;
 
 use rfc_net::graph::traversal;
-use rfc_net::sim::{SimConfig, SimNetwork, Simulation, TrafficPattern};
+use rfc_net::parallel;
+use rfc_net::sim::{RunScratch, SimConfig, SimNetwork, Simulation, TrafficPattern};
 use rfc_net::theory;
 use rfc_net::topology::{expansion, FoldedClos, Rrn};
 use rfc_net::UpDownRouting;
@@ -287,6 +288,82 @@ pub fn simulate(parsed: &Parsed, out: &mut dyn Write) -> Result<(), CliError> {
     .map_err(io_err)?;
     writeln!(out, "delivered packets: {}", r.delivered_packets).map_err(io_err)?;
     writeln!(out, "refused packets  : {}", r.refused_packets).map_err(io_err)?;
+    Ok(())
+}
+
+/// `rfcgen sweep`: a load sweep over one or more traffic patterns, one
+/// simulator run per `(traffic, load)` point, fanned out over the
+/// worker pool. Output is identical at any `--threads` value.
+///
+/// # Errors
+///
+/// [`CliError`] on build, routing or output failure.
+pub fn sweep(parsed: &Parsed, out: &mut dyn Write) -> Result<(), CliError> {
+    let patterns: Vec<TrafficPattern> = parsed
+        .str("traffic", "uniform")
+        .split(',')
+        .map(|name| parse_traffic(name.trim()))
+        .collect::<Result<_, _>>()?;
+    let loads: Vec<f64> = match parsed.opt_str("loads") {
+        Some(raw) => raw
+            .split(',')
+            .map(|tok| {
+                tok.trim()
+                    .parse::<f64>()
+                    .map_err(|_| CliError::Usage(format!("--loads: cannot parse `{tok}`")))
+            })
+            .collect::<Result<_, _>>()?,
+        None => (1..=10).map(|i| f64::from(i) / 10.0).collect(),
+    };
+    if loads.is_empty() || patterns.is_empty() {
+        return Err(CliError::Usage(
+            "sweep needs at least one traffic pattern and one load".into(),
+        ));
+    }
+    let seed: u64 = parsed.num("seed", 2017)?;
+    let mut config = SimConfig::paper_defaults();
+    config.measure_cycles = parsed.num("cycles", config.measure_cycles)?;
+    config.warmup_cycles = parsed.num("warmup", config.warmup_cycles)?;
+    config.router_latency = parsed.num("router-latency", config.router_latency)?;
+    config.valiant_routing = parsed.str("valiant", "off") == "on";
+
+    let clos = require_clos(build(parsed)?, "sweep")?;
+    let routing = UpDownRouting::new(&clos);
+    let sim_net = SimNetwork::from_folded_clos(&clos);
+    let sim = Simulation::new(&sim_net, &routing, config);
+
+    let mut jobs = Vec::with_capacity(patterns.len() * loads.len());
+    for &pattern in &patterns {
+        for &load in &loads {
+            jobs.push((jobs.len() as u64, pattern, load));
+        }
+    }
+    let start = std::time::Instant::now();
+    let results = parallel::map_init(jobs, RunScratch::new, |scratch, (index, pattern, load)| {
+        (
+            pattern,
+            sim.run_scratch(pattern, load, parallel::child_seed(seed, index), scratch),
+        )
+    });
+    let elapsed = start.elapsed();
+
+    writeln!(out, "traffic offered accepted latency_cycles latency_p99").map_err(io_err)?;
+    for (pattern, r) in results {
+        writeln!(
+            out,
+            "{pattern} {:.3} {:.3} {:.1} {:.0}",
+            r.offered_load, r.accepted_load, r.avg_latency, r.latency_p99
+        )
+        .map_err(io_err)?;
+    }
+    writeln!(
+        out,
+        "# {} runs in {:.2}s on {} thread(s)",
+        patterns.len() * loads.len(),
+        elapsed.as_secs_f64(),
+        parallel::current_threads()
+    )
+    .map_err(io_err)?;
     Ok(())
 }
 

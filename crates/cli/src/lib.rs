@@ -62,10 +62,14 @@ pub fn run(argv: &[String], out: &mut dyn std::io::Write) -> Result<(), CliError
         return Err(CliError::Usage(USAGE.trim().to_string()));
     };
     let parsed = args::Parsed::parse(rest)?;
+    // Common flag: worker threads for parallel stages (overrides the
+    // RFC_THREADS environment variable; default: all cores).
+    rfc_net::parallel::set_threads(parsed.opt_num::<usize>("threads")?);
     match command.as_str() {
         "generate" => commands::generate(&parsed, out),
         "analyze" => commands::analyze(&parsed, out),
         "simulate" => commands::simulate(&parsed, out),
+        "sweep" => commands::sweep(&parsed, out),
         "expand" => commands::expand(&parsed, out),
         "threshold" => commands::threshold(&parsed, out),
         "help" | "--help" | "-h" => {
@@ -93,9 +97,15 @@ COMMANDS:
     generate    build a topology and print it (--format summary|dot|edges)
     analyze     structural scorecard: cost, diameter, up/down property, bounds
     simulate    run the cycle-level simulator on the topology
+    sweep       parallel load sweep: one simulator run per (traffic, load) point
     expand      grow an RFC incrementally and report rewiring
     threshold   Theorem 4.2 sizing for a radix/levels pair
     help        show this text
+
+COMMON FLAGS:
+    --threads   worker threads for parallel stages    (default: RFC_THREADS
+                environment variable, else all cores; results are identical
+                at any thread count)
 
 TOPOLOGY FLAGS (generate/analyze/simulate/expand):
     --kind      rfc | cft | oft | kary | rrn        (default rfc)
@@ -109,9 +119,12 @@ TOPOLOGY FLAGS (generate/analyze/simulate/expand):
     --hosts     hosts per switch for rrn            (default radix/4)
     --seed      RNG seed                            (default 2017)
 
-SIMULATION FLAGS (simulate):
+SIMULATION FLAGS (simulate/sweep):
     --traffic   uniform | random-pairing | fixed-random | shuffle | all-to-one
-    --load      offered phits/node/cycle            (default 0.5)
+                (sweep: comma-separated list accepted)
+    --load      offered phits/node/cycle            (default 0.5; simulate only)
+    --loads     comma-separated offered loads       (default 0.1,0.2,…,1.0;
+                sweep only)
     --cycles    measured cycles                     (default 10000)
     --warmup    warmup cycles                       (default 5000)
     --router-latency  extra pipeline cycles per hop (default 0)
@@ -191,6 +204,60 @@ mod tests {
         ])
         .unwrap();
         assert!(text.contains("accepted"));
+    }
+
+    #[test]
+    fn sweep_prints_one_row_per_point_and_elapsed() {
+        let text = run_capture(&[
+            "sweep",
+            "--kind",
+            "cft",
+            "--radix",
+            "4",
+            "--levels",
+            "2",
+            "--traffic",
+            "uniform,shuffle",
+            "--loads",
+            "0.2,0.4",
+            "--cycles",
+            "300",
+            "--warmup",
+            "100",
+        ])
+        .unwrap();
+        let rows: Vec<&str> = text
+            .lines()
+            .filter(|l| !l.starts_with('#') && !l.starts_with("traffic"))
+            .collect();
+        assert_eq!(rows.len(), 4, "2 patterns x 2 loads: {text}");
+        assert!(text.contains("thread(s)"), "elapsed line missing: {text}");
+    }
+
+    #[test]
+    fn sweep_output_is_identical_at_any_thread_count() {
+        let base = &[
+            "sweep", "--kind", "cft", "--radix", "4", "--levels", "2", "--loads", "0.3,0.6",
+            "--cycles", "300", "--warmup", "100",
+        ];
+        let strip_elapsed = |text: String| -> String {
+            text.lines()
+                .filter(|l| !l.starts_with('#'))
+                .collect::<Vec<_>>()
+                .join("\n")
+        };
+        let one = {
+            let mut argv: Vec<&str> = base.to_vec();
+            argv.extend_from_slice(&["--threads", "1"]);
+            strip_elapsed(run_capture(&argv).unwrap())
+        };
+        let four = {
+            let mut argv: Vec<&str> = base.to_vec();
+            argv.extend_from_slice(&["--threads", "4"]);
+            strip_elapsed(run_capture(&argv).unwrap())
+        };
+        rfc_net::parallel::set_threads(None);
+        assert_eq!(one, four);
     }
 
     #[test]

@@ -9,12 +9,14 @@
 //! the true value; the normalized ratios reproduce the paper's
 //! 0.80 / 0.86 / 0.88 / 1.00 comparison.
 
-use rand::Rng;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
 
 use rfc_graph::bisection::cut_width;
 use rfc_graph::Csr;
 use rfc_topology::{FoldedClos, Network, Rrn};
 
+use crate::parallel;
 use crate::report::{f3, Report};
 use crate::theory;
 
@@ -45,21 +47,27 @@ fn best_level_balanced_cut<R: Rng + ?Sized>(
     rng: &mut R,
 ) -> usize {
     let n = graph.num_vertices();
-    let mut best = usize::MAX;
-    for _ in 0..trials {
+    // Each random start is refined independently; min over an
+    // index-ordered vector is schedule-invariant, so the repetitions run
+    // on the worker pool with per-trial child RNGs.
+    let base: u64 = rng.gen();
+    parallel::map((0..trials as u64).collect(), |i| {
+        let mut trial_rng = SmallRng::seed_from_u64(parallel::child_seed(base, i));
         let mut side = vec![false; n];
         for &(lo, hi) in levels {
             let mut ids: Vec<usize> = (lo..hi).collect();
             use rand::seq::SliceRandom;
-            ids.shuffle(rng);
+            ids.shuffle(&mut trial_rng);
             for &v in ids.iter().take((hi - lo) / 2) {
                 side[v] = true;
             }
         }
         refine_within_levels(graph, levels, &mut side);
-        best = best.min(cut_width(graph, &side));
-    }
-    best
+        cut_width(graph, &side)
+    })
+    .into_iter()
+    .min()
+    .unwrap_or(usize::MAX)
 }
 
 /// Greedy pair swaps restricted to a single level, so every level stays

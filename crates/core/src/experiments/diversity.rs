@@ -103,7 +103,13 @@ pub fn rrn_diversity<R: Rng + ?Sized>(rrn: &Rrn, pairs: usize, rng: &mut R) -> D
 pub fn report<R: Rng + ?Sized>(radix: usize, pairs: usize, rng: &mut R) -> Report {
     let mut rep = Report::new(
         format!("section7-path-diversity-R{radix}"),
-        &["network", "terminals", "min_paths", "mean_paths", "mean_distance"],
+        &[
+            "network",
+            "terminals",
+            "min_paths",
+            "mean_paths",
+            "mean_distance",
+        ],
     );
     let mut push = |p: DiversityPoint| {
         rep.push_row(vec![

@@ -6,11 +6,13 @@
 //! up/down paths are unique); CFT points sit below same-size RFC curves,
 //! which is the paper's trade-scalability-for-fault-tolerance argument.
 
-use rand::Rng;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
 
-use rfc_routing::fault::mean_updown_tolerance;
+use rfc_routing::fault::updown_tolerance_trial;
 use rfc_topology::FoldedClos;
 
+use crate::parallel;
 use crate::report::{pct, Report};
 use crate::scenarios::rfc_with_updown;
 use crate::theory;
@@ -32,6 +34,23 @@ pub struct TolerancePoint {
 /// maximum.
 pub const SIZE_FRACTIONS: [f64; 3] = [0.3, 0.6, 0.9];
 
+/// [`mean_updown_tolerance`](rfc_routing::fault::mean_updown_tolerance)
+/// with the independent removal orders fanned out over the worker pool,
+/// one child RNG per trial.
+fn parallel_mean_tolerance<R: Rng + ?Sized>(net: &FoldedClos, trials: usize, rng: &mut R) -> f64 {
+    if trials == 0 {
+        return 0.0;
+    }
+    let base: u64 = rng.gen();
+    parallel::map((0..trials as u64).collect(), |i| {
+        let mut trial_rng = SmallRng::seed_from_u64(parallel::child_seed(base, i));
+        updown_tolerance_trial(net, &mut trial_rng).fraction()
+    })
+    .iter()
+    .sum::<f64>()
+        / trials as f64
+}
+
 /// Runs the figure at `radix` (the paper uses 12), averaging `trials`
 /// removal orders per point. OFT points are limited to 2 and 3 levels —
 /// the 4-level OFT of order 5 would have ~29K roots, far past the sizes
@@ -52,7 +71,7 @@ pub fn run<R: Rng + ?Sized>(
             let Ok(net) = rfc_with_updown(radix, n1, l, 50, rng) else {
                 continue;
             };
-            let tolerance = mean_updown_tolerance(&net, trials, rng);
+            let tolerance = parallel_mean_tolerance(&net, trials, rng);
             points.push(TolerancePoint {
                 topology: format!("rfc({radix})"),
                 levels: l,
@@ -62,7 +81,7 @@ pub fn run<R: Rng + ?Sized>(
         }
         // CFT point at this level count.
         if let Ok(cft) = FoldedClos::cft(radix, l) {
-            let tolerance = mean_updown_tolerance(&cft, trials, rng);
+            let tolerance = parallel_mean_tolerance(&cft, trials, rng);
             points.push(TolerancePoint {
                 topology: format!("cft({radix})"),
                 levels: l,
@@ -75,7 +94,7 @@ pub fn run<R: Rng + ?Sized>(
         let q = radix / 2 - 1;
         if l <= 3 && rfc_galois::is_prime_power(q as u32) {
             if let Ok(oft) = FoldedClos::oft(q as u32, l) {
-                let tolerance = mean_updown_tolerance(&oft, trials, rng);
+                let tolerance = parallel_mean_tolerance(&oft, trials, rng);
                 points.push(TolerancePoint {
                     topology: format!("oft(q={q})"),
                     levels: l,

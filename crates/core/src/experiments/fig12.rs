@@ -10,8 +10,9 @@ use rand::seq::SliceRandom;
 use rand::Rng;
 
 use rfc_routing::UpDownRouting;
-use rfc_sim::{SimConfig, SimNetwork, Simulation, TrafficPattern};
+use rfc_sim::{RunScratch, SimConfig, SimNetwork, Simulation, TrafficPattern};
 
+use crate::parallel;
 use crate::report::{f3, Report};
 use crate::scenarios::Scenario;
 
@@ -49,28 +50,39 @@ pub fn run<R: Rng + ?Sized>(
         order.shuffle(rng);
         let total = order.len();
         let step = ((total as f64 * step_fraction).round() as usize).max(1);
-        for s in 0..=steps {
-            let faults = (s * step).min(total);
-            let faulty = snet.clos.with_links_removed(&order[..faults]);
-            let routing = UpDownRouting::new(&faulty);
-            let sim_net = if snet.terminals == faulty.num_terminals() {
-                SimNetwork::from_folded_clos(&faulty)
-            } else {
-                SimNetwork::from_folded_clos_populated(&faulty, snet.terminals)
-            };
-            let sim = Simulation::new(&sim_net, &routing, config);
-            for (pi, &pattern) in patterns.iter().enumerate() {
-                let throughput = sim.max_throughput(pattern, 1_000 + s as u64 * 17 + pi as u64);
-                points.push(FaultThroughputPoint {
-                    net: snet.label.clone(),
-                    pattern,
-                    faults,
-                    fault_fraction: faults as f64 / total as f64,
-                    throughput,
-                    updown_intact: routing.has_updown_property(),
-                });
-            }
-        }
+        // Each fault step rebuilds its own faulty fabric, routing, and
+        // simulator from the shared removal order, so the steps are
+        // independent jobs; simulation seeds depend only on (step,
+        // pattern), keeping the output thread-count invariant.
+        let step_points =
+            parallel::map_init((0..=steps).collect(), RunScratch::new, |scratch, s| {
+                let faults = (s * step).min(total);
+                let faulty = snet.clos.with_links_removed(&order[..faults]);
+                let routing = UpDownRouting::new(&faulty);
+                let sim_net = if snet.terminals == faulty.num_terminals() {
+                    SimNetwork::from_folded_clos(&faulty)
+                } else {
+                    SimNetwork::from_folded_clos_populated(&faulty, snet.terminals)
+                };
+                let sim = Simulation::new(&sim_net, &routing, config);
+                patterns
+                    .iter()
+                    .enumerate()
+                    .map(|(pi, &pattern)| {
+                        let seed = 1_000 + s as u64 * 17 + pi as u64;
+                        let throughput = sim.run_scratch(pattern, 1.0, seed, scratch).accepted_load;
+                        FaultThroughputPoint {
+                            net: snet.label.clone(),
+                            pattern,
+                            faults,
+                            fault_fraction: faults as f64 / total as f64,
+                            throughput,
+                            updown_intact: routing.has_updown_property(),
+                        }
+                    })
+                    .collect::<Vec<_>>()
+            });
+        points.extend(step_points.into_iter().flatten());
     }
     points
 }

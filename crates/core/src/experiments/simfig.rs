@@ -6,8 +6,9 @@
 //! (see [`crate::scenarios`]).
 
 use rfc_routing::UpDownRouting;
-use rfc_sim::{SimConfig, SimNetwork, Simulation, TrafficPattern};
+use rfc_sim::{RunScratch, SimConfig, SimNetwork, Simulation, TrafficPattern};
 
+use crate::parallel;
 use crate::report::{f3, Report};
 use crate::scenarios::Scenario;
 
@@ -35,6 +36,11 @@ pub fn default_loads() -> Vec<f64> {
 
 /// Simulates every network of `scenario` under `patterns` across
 /// `loads`.
+///
+/// The `(network, pattern, load)` points are independent simulator runs,
+/// so they are fanned out over [`parallel::map_init`]; each job's seed
+/// is [`parallel::child_seed`]`(seed, flat_index)`, making the output
+/// identical at every thread count.
 pub fn run(
     scenario: &Scenario,
     patterns: &[TrafficPattern],
@@ -42,34 +48,51 @@ pub fn run(
     config: SimConfig,
     seed: u64,
 ) -> Vec<SimPoint> {
-    let mut points = Vec::new();
-    for (ni, snet) in scenario.nets.iter().enumerate() {
-        let routing = UpDownRouting::new(&snet.clos);
-        let sim_net = if snet.terminals == snet.clos.num_terminals() {
-            SimNetwork::from_folded_clos(&snet.clos)
-        } else {
-            SimNetwork::from_folded_clos_populated(&snet.clos, snet.terminals)
-        };
-        let sim = Simulation::new(&sim_net, &routing, config);
-        for (pi, &pattern) in patterns.iter().enumerate() {
-            for (li, &load) in loads.iter().enumerate() {
-                let run_seed = seed
-                    .wrapping_add(ni as u64 * 1_000_003)
-                    .wrapping_add(pi as u64 * 10_007)
-                    .wrapping_add(li as u64);
-                let r = sim.run(pattern, load, run_seed);
-                points.push(SimPoint {
-                    net: snet.label.clone(),
-                    pattern,
-                    offered: load,
-                    accepted: r.accepted_load,
-                    latency: r.avg_latency,
-                    latency_p99: r.latency_p99,
-                });
+    let routings: Vec<UpDownRouting> = scenario
+        .nets
+        .iter()
+        .map(|snet| UpDownRouting::new(&snet.clos))
+        .collect();
+    let sim_nets: Vec<SimNetwork> = scenario
+        .nets
+        .iter()
+        .map(|snet| {
+            if snet.terminals == snet.clos.num_terminals() {
+                SimNetwork::from_folded_clos(&snet.clos)
+            } else {
+                SimNetwork::from_folded_clos_populated(&snet.clos, snet.terminals)
+            }
+        })
+        .collect();
+    let sims: Vec<Simulation<'_, UpDownRouting>> = sim_nets
+        .iter()
+        .zip(&routings)
+        .map(|(sim_net, routing)| Simulation::new(sim_net, routing, config))
+        .collect();
+
+    let mut jobs = Vec::with_capacity(scenario.nets.len() * patterns.len() * loads.len());
+    for ni in 0..scenario.nets.len() {
+        for &pattern in patterns {
+            for &load in loads {
+                jobs.push((jobs.len() as u64, ni, pattern, load));
             }
         }
     }
-    points
+    parallel::map_init(
+        jobs,
+        RunScratch::new,
+        |scratch, (index, ni, pattern, load)| {
+            let r = sims[ni].run_scratch(pattern, load, parallel::child_seed(seed, index), scratch);
+            SimPoint {
+                net: scenario.nets[ni].label.clone(),
+                pattern,
+                offered: load,
+                accepted: r.accepted_load,
+                latency: r.avg_latency,
+                latency_p99: r.latency_p99,
+            }
+        },
+    )
 }
 
 /// Renders the scenario's curves.

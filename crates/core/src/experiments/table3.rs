@@ -8,11 +8,13 @@
 //! averages the removal fraction at first disconnection over random
 //! orders (the Slim Fly methodology).
 
-use rand::Rng;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
 
-use rfc_graph::connectivity::mean_disconnection_fraction;
+use rfc_graph::connectivity::disconnection_trial;
 use rfc_topology::{FoldedClos, Network, Rrn};
 
+use crate::parallel;
 use crate::report::{pct, Report};
 use crate::theory;
 
@@ -159,7 +161,19 @@ fn cell<R: Rng + ?Sized>(
     trials: usize,
     rng: &mut R,
 ) -> Table3Cell {
-    let fraction = mean_disconnection_fraction(switches, links, trials, rng).unwrap_or(0.0);
+    // Removal orders are independent: draw one base seed from the shared
+    // stream and fan the trials out with per-trial child RNGs. The mean
+    // is over an index-ordered vector, so it is thread-count invariant.
+    let base: u64 = rng.gen();
+    let fractions = parallel::map((0..trials as u64).collect(), |i| {
+        let mut trial_rng = SmallRng::seed_from_u64(parallel::child_seed(base, i));
+        disconnection_trial(switches, links, &mut trial_rng).map(|t| t.fraction())
+    });
+    let fraction = if fractions.is_empty() || fractions.iter().any(Option::is_none) {
+        0.0
+    } else {
+        fractions.iter().map(|f| f.unwrap_or(0.0)).sum::<f64>() / trials as f64
+    };
     Table3Cell {
         topology,
         radix,

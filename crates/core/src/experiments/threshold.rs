@@ -7,11 +7,13 @@
 //! that integer radix implies, generates many RFCs, and reports the
 //! fraction with the common-ancestor property next to the prediction.
 
-use rand::Rng;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
 
 use rfc_routing::UpDownRouting;
 use rfc_topology::FoldedClos;
 
+use crate::parallel;
 use crate::report::{f3, Report};
 use crate::theory;
 
@@ -65,14 +67,17 @@ pub fn run<R: Rng + ?Sized>(
         for &x in xs {
             let radix = even_radix_near_threshold(n1, levels, x);
             let actual_x = theory::threshold_slack(radix, n1, levels);
-            let mut ok = 0usize;
-            for _ in 0..samples {
-                let net =
-                    FoldedClos::random(radix, n1, levels, rng).expect("feasible RFC parameters");
-                if UpDownRouting::new(&net).has_updown_property() {
-                    ok += 1;
-                }
-            }
+            // Monte-Carlo samples are independent: one base seed per
+            // cell, one child RNG per sample, fanned out over the pool.
+            let base: u64 = rng.gen();
+            let ok = parallel::map((0..samples as u64).collect(), |i| {
+                let mut sample_rng = SmallRng::seed_from_u64(parallel::child_seed(base, i));
+                let net = FoldedClos::random(radix, n1, levels, &mut sample_rng)
+                    .expect("feasible RFC parameters");
+                usize::from(UpDownRouting::new(&net).has_updown_property())
+            })
+            .into_iter()
+            .sum::<usize>();
             out.push(ThresholdPoint {
                 n1,
                 levels,

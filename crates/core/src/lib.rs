@@ -23,6 +23,9 @@
 //! * [`scenarios`] — the 11K/100K/200K simulation scenarios at three
 //!   scales.
 //! * [`experiments`] — one driver per table/figure.
+//! * [`parallel`] — the scoped worker pool the drivers fan out on
+//!   (`RFC_THREADS` / `rfcgen --threads`), with deterministic per-job
+//!   seeding.
 //!
 //! # Quick start
 //!
@@ -53,6 +56,7 @@
 
 pub mod cost;
 pub mod experiments;
+pub mod parallel;
 pub mod report;
 pub mod scenarios;
 pub mod theory;

@@ -1,0 +1,260 @@
+//! A minimal scoped worker pool for embarrassingly parallel experiment
+//! stages.
+//!
+//! Every expensive driver in [`crate::experiments`] is a loop of
+//! independent jobs: one simulator run per `(pattern, load)` point, one
+//! Monte-Carlo trial per repetition, one removal order per sample. This
+//! module fans such loops out across OS threads with zero external
+//! dependencies: [`std::thread::scope`] plus an atomic work counter.
+//!
+//! # Determinism
+//!
+//! Parallelism must not change results. Two rules make that hold:
+//!
+//! 1. Jobs never share an RNG. A driver draws one base seed from its
+//!    caller-provided generator and derives an independent child seed
+//!    per job with [`child_seed`] (a SplitMix64 finalizer over the job
+//!    index), so the random stream a job sees depends only on
+//!    `(base, index)` — never on which thread ran it or in what order.
+//! 2. Results are written into a slot addressed by job index, so the
+//!    output vector order matches the serial loop.
+//!
+//! Consequently `map` with 1 thread and with N threads produce
+//! byte-identical output, which `crates/core/tests/parallel_determinism.rs`
+//! locks in.
+//!
+//! # Thread count
+//!
+//! Resolution order: [`set_threads`] override (the `rfcgen --threads`
+//! flag), then the `RFC_THREADS` environment variable, then
+//! [`std::thread::available_parallelism`]. A value of 1 runs jobs inline
+//! on the caller's thread with no pool at all.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+/// Chunk size for work claiming: workers grab jobs in batches of this
+/// many to keep contention on the shared counter negligible while still
+/// stealing well when job costs are skewed (e.g. high-load simulator
+/// runs take far longer than low-load ones).
+const CHUNK: usize = 4;
+
+/// Process-wide thread-count override; 0 means "not set".
+static THREAD_OVERRIDE: AtomicUsize = AtomicUsize::new(0);
+
+/// Overrides the worker count for all subsequent [`map`] calls.
+///
+/// `Some(0)` is treated as unset. This is what `rfcgen --threads` and
+/// the bench binaries call; it takes precedence over `RFC_THREADS`.
+pub fn set_threads(n: Option<usize>) {
+    THREAD_OVERRIDE.store(n.unwrap_or(0), Ordering::Relaxed);
+}
+
+/// The worker count [`map`] will use right now.
+///
+/// Resolution order: [`set_threads`] override, `RFC_THREADS`
+/// environment variable, [`std::thread::available_parallelism`] (1 when
+/// even that is unavailable).
+pub fn current_threads() -> usize {
+    let forced = THREAD_OVERRIDE.load(Ordering::Relaxed);
+    if forced > 0 {
+        return forced;
+    }
+    if let Ok(v) = std::env::var("RFC_THREADS") {
+        if let Ok(n) = v.trim().parse::<usize>() {
+            if n > 0 {
+                return n;
+            }
+        }
+    }
+    std::thread::available_parallelism()
+        .map(std::num::NonZeroUsize::get)
+        .unwrap_or(1)
+}
+
+/// Derives the RNG seed for job `index` from a per-stage `base` seed.
+///
+/// SplitMix64: the standard 64-bit finalizer over `base + (index+1)·γ`.
+/// Consecutive indices map to statistically independent seeds, and the
+/// result depends only on `(base, index)`, which is what makes parallel
+/// schedules reproducible. Drivers must use this (rather than handing
+/// jobs slices of one shared stream) for every parallelized loop.
+#[must_use]
+pub fn child_seed(base: u64, index: u64) -> u64 {
+    let mut z = base.wrapping_add((index.wrapping_add(1)).wrapping_mul(0x9E37_79B9_7F4A_7C15));
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Applies `f` to every job, in parallel, preserving input order.
+///
+/// Equivalent to `jobs.into_iter().map(f).collect()` but fanned out
+/// over [`current_threads`] workers. `f` must be deterministic in its
+/// argument alone (seed any randomness via [`child_seed`]); under that
+/// contract the output is identical at every thread count.
+pub fn map<T, U, F>(jobs: Vec<T>, f: F) -> Vec<U>
+where
+    T: Send,
+    U: Send,
+    F: Fn(T) -> U + Sync,
+{
+    map_init(jobs, || (), |(), job| f(job))
+}
+
+/// Like [`map`], but each worker first builds a reusable state with
+/// `init` and threads it through its jobs.
+///
+/// This is how the sweep drivers share one `RunScratch` (the
+/// simulator's preallocated queues and event wheel) across all runs a
+/// worker executes, instead of reallocating per job.
+pub fn map_init<T, U, S, F, I>(jobs: Vec<T>, init: I, f: F) -> Vec<U>
+where
+    T: Send,
+    U: Send,
+    I: Fn() -> S + Sync,
+    F: Fn(&mut S, T) -> U + Sync,
+{
+    let n_jobs = jobs.len();
+    let threads = current_threads().min(n_jobs).max(1);
+
+    if threads == 1 {
+        let mut state = init();
+        return jobs.into_iter().map(|job| f(&mut state, job)).collect();
+    }
+
+    // Job intake: each slot is taken exactly once by the worker that
+    // claims its index. Mutex<Option<T>> keeps this safe without
+    // `unsafe`; the lock is uncontended by construction (a slot has
+    // exactly one claimant) so the cost is one atomic pair per job,
+    // dwarfed by any simulator run or Monte-Carlo trial.
+    let slots: Vec<Mutex<Option<T>>> = jobs.into_iter().map(|j| Mutex::new(Some(j))).collect();
+    let next = AtomicUsize::new(0);
+
+    let mut per_worker: Vec<Vec<(usize, U)>> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..threads)
+            .map(|_| {
+                scope.spawn(|| {
+                    let mut state = init();
+                    let mut done: Vec<(usize, U)> = Vec::new();
+                    loop {
+                        let start = next.fetch_add(CHUNK, Ordering::Relaxed);
+                        if start >= n_jobs {
+                            break;
+                        }
+                        let end = (start + CHUNK).min(n_jobs);
+                        for (idx, slot) in slots.iter().enumerate().take(end).skip(start) {
+                            let job = slot
+                                .lock()
+                                .expect("job slot poisoned")
+                                .take()
+                                .expect("job claimed twice");
+                            done.push((idx, f(&mut state, job)));
+                        }
+                    }
+                    done
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("worker thread panicked"))
+            .collect()
+    });
+
+    // Reassemble in job order.
+    let mut out: Vec<Option<U>> = Vec::with_capacity(n_jobs);
+    out.resize_with(n_jobs, || None);
+    for worker in &mut per_worker {
+        for (idx, value) in worker.drain(..) {
+            out[idx] = Some(value);
+        }
+    }
+    out.into_iter()
+        .map(|v| v.expect("job produced no result"))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Serializes tests that touch the process-wide override.
+    static OVERRIDE_LOCK: Mutex<()> = Mutex::new(());
+
+    #[test]
+    fn map_preserves_order() {
+        let _g = OVERRIDE_LOCK.lock().unwrap();
+        set_threads(Some(4));
+        let out = map((0..100u64).collect(), |x| x * x);
+        set_threads(None);
+        assert_eq!(out, (0..100u64).map(|x| x * x).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn map_matches_serial_at_any_thread_count() {
+        let _g = OVERRIDE_LOCK.lock().unwrap();
+        let jobs: Vec<u64> = (0..37).collect();
+        set_threads(Some(1));
+        let serial = map(jobs.clone(), |x| child_seed(42, x));
+        for threads in [2, 3, 8] {
+            set_threads(Some(threads));
+            let parallel = map(jobs.clone(), |x| child_seed(42, x));
+            assert_eq!(serial, parallel, "thread count {threads} changed results");
+        }
+        set_threads(None);
+    }
+
+    #[test]
+    fn map_init_reuses_worker_state() {
+        let _g = OVERRIDE_LOCK.lock().unwrap();
+        set_threads(Some(2));
+        // Each worker counts its own jobs; total must equal the job count.
+        let counts = map_init(
+            (0..50usize).collect(),
+            || 0usize,
+            |seen, _job| {
+                *seen += 1;
+                *seen
+            },
+        );
+        set_threads(None);
+        // Per-worker counters are each contiguous 1..=k sequences; the
+        // sum of "is 1" entries equals the number of workers that ran.
+        let workers = counts.iter().filter(|&&c| c == 1).count();
+        assert!((1..=2).contains(&workers));
+        assert_eq!(counts.len(), 50);
+    }
+
+    #[test]
+    fn empty_and_single_job_inputs() {
+        let _g = OVERRIDE_LOCK.lock().unwrap();
+        set_threads(Some(8));
+        let empty: Vec<u32> = map(Vec::<u32>::new(), |x| x);
+        assert!(empty.is_empty());
+        assert_eq!(map(vec![7u32], |x| x + 1), vec![8]);
+        set_threads(None);
+    }
+
+    #[test]
+    fn child_seeds_differ_and_are_stable() {
+        let a = child_seed(2017, 0);
+        let b = child_seed(2017, 1);
+        assert_ne!(a, b);
+        assert_eq!(a, child_seed(2017, 0), "child_seed must be pure");
+        // Different bases decorrelate.
+        assert_ne!(child_seed(1, 5), child_seed(2, 5));
+    }
+
+    #[test]
+    fn env_var_sets_thread_count() {
+        let _g = OVERRIDE_LOCK.lock().unwrap();
+        set_threads(None);
+        std::env::set_var("RFC_THREADS", "3");
+        assert_eq!(current_threads(), 3);
+        std::env::remove_var("RFC_THREADS");
+        set_threads(Some(5));
+        assert_eq!(current_threads(), 5);
+        set_threads(None);
+    }
+}

@@ -134,10 +134,10 @@ pub fn mean_path_diversity<R: rand::Rng + ?Sized>(
     let mut acc = 0usize;
     for _ in 0..pairs {
         let a = rng.gen_range(0..n);
-        let mut b = rng.gen_range(0..n);
-        while b == a {
-            b = rng.gen_range(0..n);
-        }
+        // Sample b != a without a rejection loop: a degenerate rng (e.g.
+        // the StepRng mock, whose small outputs make multiply-shift range
+        // reduction return 0 forever) would otherwise never terminate.
+        let b = (a + 1 + rng.gen_range(0..n - 1)) % n;
         let paths = k_shortest_paths(graph, a, b, k);
         acc += paths.iter().filter(|p| p.len() - 1 <= max_len).count();
     }

@@ -39,6 +39,10 @@ pub struct SimConfig {
     pub warmup_cycles: u64,
     /// Cycles over which statistics are collected (Table 2: 10,000).
     pub measure_cycles: u64,
+    /// Latency samples kept for percentile estimation; deliveries beyond
+    /// this count are reservoir-sampled so memory stays bounded no
+    /// matter how long the measurement window is.
+    pub latency_reservoir: usize,
     /// Next-hop selection policy (Table 2: "up/down random").
     pub request_mode: RequestMode,
     /// Valiant randomization: route every packet through a uniformly
@@ -69,6 +73,7 @@ impl SimConfig {
             router_latency: 0,
             warmup_cycles: 5_000,
             measure_cycles: 10_000,
+            latency_reservoir: 200_000,
             request_mode: RequestMode::UpDownRandom,
             valiant_routing: false,
         }
@@ -103,6 +108,10 @@ impl SimConfig {
         assert!(self.buffer_packets >= 1, "need at least one buffer slot");
         assert!(self.packet_length >= 1, "packets need at least one phit");
         assert!(self.measure_cycles >= 1, "nothing to measure");
+        assert!(
+            self.latency_reservoir >= 1,
+            "percentiles need at least one latency sample slot"
+        );
         assert!(
             self.link_latency + self.router_latency + self.packet_length
                 < crate::engine::EVENT_WHEEL as u64,

@@ -56,7 +56,7 @@ mod stats;
 mod traffic;
 
 pub use config::{RequestMode, SimConfig};
-pub use engine::Simulation;
+pub use engine::{RunScratch, Simulation};
 pub use network::SimNetwork;
 pub use stats::{PortUtilization, SimResult};
 pub use traffic::TrafficPattern;

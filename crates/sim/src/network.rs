@@ -142,11 +142,7 @@ impl SimNetwork {
         Self::populated_by(clos, terminals, |t| t % leaves)
     }
 
-    fn populated_by(
-        clos: &FoldedClos,
-        terminals: usize,
-        leaf_of: impl Fn(u32) -> u32,
-    ) -> Self {
+    fn populated_by(clos: &FoldedClos, terminals: usize, leaf_of: impl Fn(u32) -> u32) -> Self {
         assert!(
             terminals <= clos.num_terminals(),
             "cannot attach {terminals} terminals: capacity is {}",

@@ -92,11 +92,17 @@ mod tests {
 
     #[test]
     fn utilization_summaries() {
-        let u = PortUtilization { link: vec![0.2, 0.6], eject: vec![0.5] };
+        let u = PortUtilization {
+            link: vec![0.2, 0.6],
+            eject: vec![0.5],
+        };
         assert!((u.mean_link() - 0.4).abs() < 1e-12);
         assert_eq!(u.max_link(), 0.6);
         assert_eq!(u.mean_eject(), 0.5);
-        let empty = PortUtilization { link: vec![], eject: vec![] };
+        let empty = PortUtilization {
+            link: vec![],
+            eject: vec![],
+        };
         assert_eq!(empty.mean_link(), 0.0);
         assert_eq!(empty.max_link(), 0.0);
     }
