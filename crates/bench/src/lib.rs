@@ -17,6 +17,9 @@
 //!   (default: all cores; see [`rfc_net::parallel`]). Results are
 //!   identical at any thread count.
 
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
@@ -72,6 +75,9 @@ pub fn sim_config() -> rfc_net::sim::SimConfig {
 /// time and thread count to stderr, keeping stdout clean for the report
 /// rows.
 pub fn timed<T>(label: &str, f: impl FnOnce() -> T) -> T {
+    // Wall-clock is the point of this helper (stderr progress only);
+    // results never depend on it.
+    #[allow(clippy::disallowed_methods)]
     let start = std::time::Instant::now();
     let value = f();
     eprintln!(

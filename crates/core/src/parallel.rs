@@ -144,9 +144,13 @@ where
                         }
                         let end = (start + CHUNK).min(n_jobs);
                         for (idx, slot) in slots.iter().enumerate().take(end).skip(start) {
+                            // A slot is locked exactly once (by its sole
+                            // claimant), so poisoning can only be residue
+                            // of a panic elsewhere — recover the job
+                            // rather than cascade the panic.
                             let job = slot
                                 .lock()
-                                .expect("job slot poisoned")
+                                .unwrap_or_else(std::sync::PoisonError::into_inner)
                                 .take()
                                 .expect("job claimed twice");
                             done.push((idx, f(&mut state, job)));
@@ -158,7 +162,13 @@ where
             .collect();
         handles
             .into_iter()
-            .map(|h| h.join().expect("worker thread panicked"))
+            .map(|h| {
+                // Re-raise a worker's panic with its original payload
+                // instead of wrapping it in a second, less informative
+                // `expect` panic.
+                h.join()
+                    .unwrap_or_else(|payload| std::panic::resume_unwind(payload))
+            })
             .collect()
     });
 
@@ -182,9 +192,17 @@ mod tests {
     /// Serializes tests that touch the process-wide override.
     static OVERRIDE_LOCK: Mutex<()> = Mutex::new(());
 
+    /// Takes the override lock, recovering from poison: a failed
+    /// sibling test must not cascade into every other override test.
+    fn override_guard() -> std::sync::MutexGuard<'static, ()> {
+        OVERRIDE_LOCK
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+    }
+
     #[test]
     fn map_preserves_order() {
-        let _g = OVERRIDE_LOCK.lock().unwrap();
+        let _g = override_guard();
         set_threads(Some(4));
         let out = map((0..100u64).collect(), |x| x * x);
         set_threads(None);
@@ -193,7 +211,7 @@ mod tests {
 
     #[test]
     fn map_matches_serial_at_any_thread_count() {
-        let _g = OVERRIDE_LOCK.lock().unwrap();
+        let _g = override_guard();
         let jobs: Vec<u64> = (0..37).collect();
         set_threads(Some(1));
         let serial = map(jobs.clone(), |x| child_seed(42, x));
@@ -207,7 +225,7 @@ mod tests {
 
     #[test]
     fn map_init_reuses_worker_state() {
-        let _g = OVERRIDE_LOCK.lock().unwrap();
+        let _g = override_guard();
         set_threads(Some(2));
         // Each worker counts its own jobs; total must equal the job count.
         let counts = map_init(
@@ -228,7 +246,7 @@ mod tests {
 
     #[test]
     fn empty_and_single_job_inputs() {
-        let _g = OVERRIDE_LOCK.lock().unwrap();
+        let _g = override_guard();
         set_threads(Some(8));
         let empty: Vec<u32> = map(Vec::<u32>::new(), |x| x);
         assert!(empty.is_empty());
@@ -248,7 +266,7 @@ mod tests {
 
     #[test]
     fn env_var_sets_thread_count() {
-        let _g = OVERRIDE_LOCK.lock().unwrap();
+        let _g = override_guard();
         set_threads(None);
         std::env::set_var("RFC_THREADS", "3");
         assert_eq!(current_threads(), 3);

@@ -249,13 +249,15 @@ impl UpDownRouting {
         let height = self.updown_distance(a, b)? / 2;
         // Count upward walks of length `height` from each endpoint,
         // then pair them at common ancestors that can turn toward the
-        // other side.
-        let walks = |leaf: u32| -> std::collections::HashMap<u32, u64> {
-            let mut counts = std::collections::HashMap::new();
+        // other side. BTreeMap keeps the per-level accumulation (and
+        // the pairing loop below) in a fixed order regardless of hasher
+        // state — identical tables on every build of the same seed.
+        let walks = |leaf: u32| -> std::collections::BTreeMap<u32, u64> {
+            let mut counts = std::collections::BTreeMap::new();
             counts.insert(leaf, 1u64);
             for _ in 0..height {
-                let mut next: std::collections::HashMap<u32, u64> =
-                    std::collections::HashMap::new();
+                let mut next: std::collections::BTreeMap<u32, u64> =
+                    std::collections::BTreeMap::new();
                 for (&s, &c) in &counts {
                     for &u in &self.up[s as usize] {
                         *next.entry(u).or_insert(0) += c;

@@ -400,9 +400,14 @@ impl<'a, O: RoutingOracle> Simulation<'a, O> {
                 // Valiant phase partition: packets still heading to an
                 // intermediate use the first half of the VCs.
                 let (vc_lo, vc_hi) = vc_range(cfg.valiant_routing, via_switch != NO_VIA, v);
-                let best = (vc_lo..vc_hi)
-                    .max_by_key(|&c| credits[base + c])
-                    .expect("nonempty VC range");
+                // The range is nonempty by construction: assert_valid
+                // requires >= 2 VCs whenever Valiant splits them.
+                let mut best = vc_lo;
+                for c in vc_lo + 1..vc_hi {
+                    if credits[base + c] > credits[base + best] {
+                        best = c;
+                    }
+                }
                 if credits[base + best] == 0 {
                     if in_window {
                         refused += 1;

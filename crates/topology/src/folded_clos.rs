@@ -1,6 +1,6 @@
 //! The multi-level folded Clos structure shared by every indirect topology.
 
-use std::collections::HashSet;
+use std::collections::BTreeSet;
 use std::fmt;
 use std::ops::Range;
 
@@ -548,8 +548,11 @@ impl FoldedClos {
     /// Links not present in the network are ignored. Terminal attachment
     /// is unaffected.
     pub fn with_links_removed(&self, faults: &[Link]) -> FoldedClos {
-        let mut removed_per_stage: Vec<HashSet<(u32, u32)>> =
-            vec![HashSet::new(); self.stages.len()];
+        // BTreeSet rather than HashSet: only membership is queried, but
+        // the ordered set keeps this path inside the determinism lint's
+        // hash-collection ban with zero cost at fault-list scale.
+        let mut removed_per_stage: Vec<BTreeSet<(u32, u32)>> =
+            vec![BTreeSet::new(); self.stages.len()];
         for f in faults {
             let (lo, hi) = if f.lower < f.upper {
                 (f.lower, f.upper)

@@ -1,0 +1,33 @@
+//! In-tree static analysis for the rfc-net workspace (`cargo xtask lint`).
+//!
+//! The workspace's core guarantee — byte-identical experiment output at
+//! any thread count, for any seed — rests on invariants that clippy
+//! cannot express. This crate machine-checks them on every run:
+//!
+//! * **Determinism rules** ([`rules`]) — in the seed-deterministic
+//!   crates (`graph`, `galois`, `topology`, `routing`, `sim`, `core`)
+//!   non-test code may not touch `HashMap`/`HashSet` (iteration order),
+//!   `Instant::now`/`SystemTime::now` (wall-clock), or ambient RNG
+//!   sources. Escape hatch: `// xtask: allow(<rule>) — <reason>`.
+//! * **Panic-surface ratchet** ([`ratchet`]) — `.unwrap()` / `.expect(` /
+//!   panic-macro counts per crate may only decrease relative to the
+//!   committed `xtask-ratchet.toml`, and every `expect` must carry a
+//!   message.
+//! * **Lint gates** ([`workspace`]) — every crate keeps the standard
+//!   `#![forbid(unsafe_code)]` + `#![warn(missing_docs)]` header and
+//!   inherits `[workspace.lints]`.
+//!
+//! Everything is plain lexical analysis over the source tree (no `syn`,
+//! no registry dependencies), so the tool builds in the same hermetic
+//! environment as the rest of the workspace. See DESIGN.md §9 for the
+//! workflow.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod ratchet;
+pub mod rules;
+pub mod scan;
+pub mod workspace;
+
+pub use workspace::{run_lint, LintReport};

@@ -1,0 +1,107 @@
+//! `cargo xtask` — workspace maintenance commands (see `lib.rs`).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use xtask::workspace::{run_lint, RATCHET_FILE};
+
+const USAGE: &str = "\
+Usage: cargo xtask <command>
+
+Commands:
+  lint                  run the determinism, ratchet, and lint-gate checks
+  lint --write-ratchet  rewrite xtask-ratchet.toml with the current counts
+  counts                print the per-crate panic-surface table
+";
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let root = match workspace_root() {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    match args.iter().map(String::as_str).collect::<Vec<_>>()[..] {
+        ["lint"] => lint(&root, false),
+        ["lint", "--write-ratchet"] => lint(&root, true),
+        ["counts"] => counts(&root),
+        _ => {
+            eprint!("{USAGE}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+/// The workspace root: the manifest dir's grandparent
+/// (`crates/xtask` → repo root).
+fn workspace_root() -> Result<PathBuf, String> {
+    let manifest = PathBuf::from(env!("CARGO_MANIFEST_DIR"));
+    manifest
+        .parent()
+        .and_then(std::path::Path::parent)
+        .map(std::path::Path::to_path_buf)
+        .ok_or_else(|| "cannot locate workspace root above crates/xtask".to_string())
+}
+
+fn lint(root: &std::path::Path, write_ratchet: bool) -> ExitCode {
+    let report = match run_lint(root, write_ratchet) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    if write_ratchet {
+        println!(
+            "wrote {RATCHET_FILE}: {} crates, {} panic sites total",
+            report.counts.len(),
+            report.counts.values().map(|c| c.total()).sum::<usize>()
+        );
+    }
+    for note in &report.improvements {
+        println!("note: {note}");
+    }
+    for (path, v) in &report.violations {
+        eprintln!("error[{}]: {}:{}: {}", v.rule, path, v.line, v.message);
+    }
+    if report.is_clean() {
+        println!(
+            "xtask lint: clean ({} crates checked, {} non-test panic sites)",
+            report.counts.len(),
+            report.counts.values().map(|c| c.total()).sum::<usize>()
+        );
+        ExitCode::SUCCESS
+    } else {
+        eprintln!("xtask lint: {} violation(s)", report.violations.len());
+        ExitCode::FAILURE
+    }
+}
+
+fn counts(root: &std::path::Path) -> ExitCode {
+    let report = match run_lint(root, false) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    println!(
+        "{:<18} {:>7} {:>7} {:>7} {:>7}",
+        "crate", "unwrap", "expect", "panic", "total"
+    );
+    for (name, c) in &report.counts {
+        println!(
+            "{name:<18} {:>7} {:>7} {:>7} {:>7}",
+            c.unwrap,
+            c.expect,
+            c.panic,
+            c.total()
+        );
+    }
+    ExitCode::SUCCESS
+}

@@ -1,0 +1,178 @@
+//! The committed panic-surface baseline (`xtask-ratchet.toml`).
+//!
+//! The baseline records, per crate, how many `.unwrap()` / `.expect(` /
+//! panic-macro sites exist in non-test code. `cargo xtask lint` fails
+//! when any count *rises* above the baseline, and reports (without
+//! failing) when a count has dropped so the baseline can be tightened
+//! with `cargo xtask lint --write-ratchet`. The file is parsed with a
+//! purpose-built reader rather than a TOML dependency: the format is a
+//! fixed `[crate.<name>]` table of three integer keys.
+
+use std::collections::BTreeMap;
+
+use crate::rules::PanicCounts;
+
+/// Parses the ratchet file. Returns crate name → baseline counts, or a
+/// description of the first malformed line.
+pub fn parse(text: &str) -> Result<BTreeMap<String, PanicCounts>, String> {
+    let mut out: BTreeMap<String, PanicCounts> = BTreeMap::new();
+    let mut current: Option<String> = None;
+    for (idx, raw) in text.lines().enumerate() {
+        let line = raw.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        if let Some(section) = line.strip_prefix('[').and_then(|l| l.strip_suffix(']')) {
+            let name = section
+                .strip_prefix("crate.")
+                .ok_or_else(|| format!("line {}: expected [crate.<name>]", idx + 1))?;
+            if out.contains_key(name) {
+                return Err(format!("line {}: duplicate crate `{name}`", idx + 1));
+            }
+            out.insert(name.to_string(), PanicCounts::default());
+            current = Some(name.to_string());
+            continue;
+        }
+        let (key, value) = line
+            .split_once('=')
+            .ok_or_else(|| format!("line {}: expected `key = value`", idx + 1))?;
+        let crate_name = current
+            .as_ref()
+            .ok_or_else(|| format!("line {}: key outside a [crate.*] section", idx + 1))?;
+        let n: usize = value
+            .trim()
+            .parse()
+            .map_err(|_| format!("line {}: value is not an integer", idx + 1))?;
+        let entry = out
+            .get_mut(crate_name)
+            .expect("section inserted on open above");
+        match key.trim() {
+            "unwrap" => entry.unwrap = n,
+            "expect" => entry.expect = n,
+            "panic" => entry.panic = n,
+            other => return Err(format!("line {}: unknown key `{other}`", idx + 1)),
+        }
+    }
+    Ok(out)
+}
+
+/// Renders a baseline map back to the canonical file format.
+pub fn render(baseline: &BTreeMap<String, PanicCounts>) -> String {
+    let mut out = String::from(
+        "# Panic-surface baseline enforced by `cargo xtask lint`.\n\
+         #\n\
+         # Counts cover `.unwrap()`, `.expect(` and panic!-family macros in\n\
+         # NON-TEST code, per crate. The ratchet only turns one way: a count\n\
+         # may drop (tighten it with `cargo xtask lint --write-ratchet`) but\n\
+         # any increase fails the lint. See DESIGN.md §9.\n",
+    );
+    for (name, counts) in baseline {
+        out.push_str(&format!(
+            "\n[crate.{name}]\nunwrap = {}\nexpect = {}\npanic = {}\n",
+            counts.unwrap, counts.expect, counts.panic
+        ));
+    }
+    out
+}
+
+/// Compares measured counts against the baseline.
+///
+/// Returns `(failures, improvements)`: failures are regressions or
+/// bookkeeping errors (unknown/missing crates) that must fail the lint;
+/// improvements are counts now below baseline, reported as a nudge to
+/// re-tighten.
+pub fn compare(
+    baseline: &BTreeMap<String, PanicCounts>,
+    measured: &BTreeMap<String, PanicCounts>,
+) -> (Vec<String>, Vec<String>) {
+    let mut failures = Vec::new();
+    let mut improvements = Vec::new();
+    for (name, have) in measured {
+        let Some(want) = baseline.get(name) else {
+            failures.push(format!(
+                "crate `{name}` is missing from xtask-ratchet.toml (found {} panic sites); \
+                 add it with `cargo xtask lint --write-ratchet`",
+                have.total()
+            ));
+            continue;
+        };
+        for (kind, h, w) in [
+            ("unwrap", have.unwrap, want.unwrap),
+            ("expect", have.expect, want.expect),
+            ("panic", have.panic, want.panic),
+        ] {
+            if h > w {
+                failures.push(format!(
+                    "crate `{name}`: {kind} count rose to {h} (baseline {w}); \
+                     the panic-surface ratchet only turns downward"
+                ));
+            } else if h < w {
+                improvements.push(format!(
+                    "crate `{name}`: {kind} count is {h}, below baseline {w} — \
+                     tighten with `cargo xtask lint --write-ratchet`"
+                ));
+            }
+        }
+    }
+    for name in baseline.keys() {
+        if !measured.contains_key(name) {
+            failures.push(format!(
+                "xtask-ratchet.toml lists crate `{name}` which is not in the workspace; \
+                 remove it with `cargo xtask lint --write-ratchet`"
+            ));
+        }
+    }
+    (failures, improvements)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn counts(unwrap: usize, expect: usize, panic: usize) -> PanicCounts {
+        PanicCounts {
+            unwrap,
+            expect,
+            panic,
+        }
+    }
+
+    #[test]
+    fn parse_render_round_trips() {
+        let mut base = BTreeMap::new();
+        base.insert("core".to_string(), counts(3, 5, 1));
+        base.insert("sim".to_string(), counts(0, 4, 2));
+        let text = render(&base);
+        assert_eq!(parse(&text).expect("rendered file must parse"), base);
+    }
+
+    #[test]
+    fn parse_rejects_malformed_input() {
+        assert!(parse("[notcrate.core]\n").is_err());
+        assert!(parse("unwrap = 3\n").is_err(), "key before any section");
+        assert!(parse("[crate.a]\nunwrap = x\n").is_err());
+        assert!(parse("[crate.a]\nwibble = 3\n").is_err());
+        assert!(parse("[crate.a]\n[crate.a]\n").is_err(), "duplicate crate");
+    }
+
+    #[test]
+    fn compare_flags_regressions_and_improvements() {
+        let mut base = BTreeMap::new();
+        base.insert("a".to_string(), counts(2, 2, 0));
+        base.insert("gone".to_string(), counts(0, 0, 0));
+        let mut measured = BTreeMap::new();
+        measured.insert("a".to_string(), counts(3, 1, 0));
+        measured.insert("new".to_string(), counts(0, 0, 0));
+        let (failures, improvements) = compare(&base, &measured);
+        assert_eq!(
+            failures.len(),
+            3,
+            "regression + unknown crate + stale crate"
+        );
+        assert!(failures.iter().any(|f| f.contains("unwrap count rose")));
+        assert!(failures.iter().any(|f| f.contains("missing from")));
+        assert!(failures.iter().any(|f| f.contains("not in the workspace")));
+        assert_eq!(improvements.len(), 1);
+        assert!(improvements[0].contains("expect count is 1"));
+    }
+}

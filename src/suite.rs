@@ -5,5 +5,6 @@
 //! lives in [`rfc_net`] and the crates it re-exports.
 
 #![forbid(unsafe_code)]
+#![warn(missing_docs)]
 
 pub use rfc_net;
