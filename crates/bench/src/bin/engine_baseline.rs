@@ -1,0 +1,293 @@
+//! The tracked engine performance baseline (`BENCH_sim.json`).
+//!
+//! Runs a fixed, fully deterministic saturation workload per scale and
+//! reports the cycle engine's throughput (simulated cycles per wall
+//! second) plus the one-time setup costs (routing-table and ECMP
+//! candidate-table build times). The numbers land in `BENCH_sim.json`
+//! at the repo root — the committed perf trajectory every engine PR
+//! must move (or at least not regress); see DESIGN.md §10.
+//!
+//! Usage:
+//!
+//! ```text
+//! cargo run --release -p rfc-bench --bin engine_baseline            # both scales -> BENCH_sim.json
+//! cargo run --release -p rfc-bench --bin engine_baseline -- --scale small
+//! cargo run --release -p rfc-bench --bin engine_baseline -- --scale small \
+//!     --check BENCH_sim.json --out target/BENCH_sim.json            # CI smoke: >2x regression fails
+//! ```
+//!
+//! The workload itself is scale-keyed (CFT topology, uniform traffic at
+//! saturation) and never changes between runs, so cycles/sec numbers
+//! are comparable across commits on the same hardware class. An
+//! existing `"trajectory"` array in the output file is preserved
+//! verbatim, so the before/after history survives regeneration.
+
+use std::process::ExitCode;
+
+use rfc_net::routing::UpDownRouting;
+use rfc_net::sim::{SimConfig, SimNetwork, Simulation, TrafficPattern};
+use rfc_net::topology::FoldedClos;
+
+/// One scale's fixed workload definition.
+struct Workload {
+    name: &'static str,
+    /// CFT radix and levels (deterministic topology: no RNG in setup).
+    radix: usize,
+    levels: usize,
+    warmup: u64,
+    measure: u64,
+    /// Timed engine runs; the fastest is reported.
+    runs: usize,
+}
+
+const SMALL: Workload = Workload {
+    name: "small",
+    radix: 8,
+    levels: 3,
+    warmup: 300,
+    measure: 1_000,
+    runs: 5,
+};
+
+const MEDIUM: Workload = Workload {
+    name: "medium",
+    radix: 16,
+    levels: 3,
+    warmup: 1_000,
+    measure: 4_000,
+    runs: 3,
+};
+
+/// Fixed seed: the baseline is a benchmark, not an experiment; one
+/// representative stream is enough and keeps runs comparable.
+const SEED: u64 = 2017;
+
+/// Measured numbers for one scale.
+struct Measurement {
+    name: &'static str,
+    terminals: usize,
+    switches: usize,
+    cycles: u64,
+    cycles_per_sec: f64,
+    routing_build_ms: f64,
+    table_build_ms: f64,
+    accepted_load: f64,
+}
+
+// Wall-clock is the entire point of this binary; results never feed
+// back into any experiment output.
+#[allow(clippy::disallowed_methods)]
+fn now() -> std::time::Instant {
+    std::time::Instant::now()
+}
+
+fn measure(w: &Workload) -> Measurement {
+    let clos = match FoldedClos::cft(w.radix, w.levels) {
+        Ok(c) => c,
+        Err(e) => {
+            eprintln!("error: workload topology: {e}");
+            std::process::exit(1);
+        }
+    };
+    let net = SimNetwork::from_folded_clos(&clos);
+
+    let t0 = now();
+    let routing = UpDownRouting::new(&clos);
+    let routing_build_ms = t0.elapsed().as_secs_f64() * 1e3;
+
+    let mut cfg = SimConfig::paper_defaults();
+    cfg.warmup_cycles = w.warmup;
+    cfg.measure_cycles = w.measure;
+
+    let t1 = now();
+    let sim = Simulation::new(&net, &routing, cfg);
+    let table_build_ms = t1.elapsed().as_secs_f64() * 1e3;
+
+    let mut scratch = rfc_net::sim::RunScratch::new();
+    let mut best = f64::INFINITY;
+    let mut accepted = 0.0;
+    for _ in 0..w.runs {
+        let t = now();
+        let r = sim.run_scratch(TrafficPattern::Uniform, 1.0, SEED, &mut scratch);
+        let secs = t.elapsed().as_secs_f64();
+        best = best.min(secs);
+        accepted = r.accepted_load;
+    }
+    let cycles = cfg.total_cycles();
+    Measurement {
+        name: w.name,
+        terminals: net.num_terminals(),
+        switches: net.num_switches(),
+        cycles,
+        cycles_per_sec: cycles as f64 / best,
+        routing_build_ms,
+        table_build_ms,
+        accepted_load: accepted,
+    }
+}
+
+fn render_scale(m: &Measurement) -> String {
+    format!(
+        "    \"{}\": {{\n      \"topology\": \"cft\",\n      \"terminals\": {},\n      \"switches\": {},\n      \"cycles\": {},\n      \"offered_load\": 1.0,\n      \"cycles_per_sec\": {:.0},\n      \"routing_build_ms\": {:.3},\n      \"table_build_ms\": {:.3},\n      \"accepted_load\": {:.4}\n    }}",
+        m.name,
+        m.terminals,
+        m.switches,
+        m.cycles,
+        m.cycles_per_sec,
+        m.routing_build_ms,
+        m.table_build_ms,
+        m.accepted_load,
+    )
+}
+
+/// Extracts a preserved `"trajectory": [...]` array from a previous
+/// baseline file, if any (entries are flat objects, so the first `]`
+/// closes the array).
+fn preserved_trajectory(previous: &str) -> Option<String> {
+    let at = previous.find("\"trajectory\"")?;
+    let open = previous[at..].find('[')? + at;
+    let close = previous[open..].find(']')? + open;
+    Some(previous[open..=close].to_string())
+}
+
+/// Reads `"cycles_per_sec"` out of the named scale object of a baseline
+/// file.
+fn committed_cycles_per_sec(text: &str, scale: &str) -> Option<f64> {
+    let at = text.find(&format!("\"{scale}\""))?;
+    let key = text[at..].find("\"cycles_per_sec\"")? + at;
+    let colon = text[key..].find(':')? + key;
+    let rest = text[colon + 1..].trim_start();
+    let end = rest
+        .find(|c: char| !(c.is_ascii_digit() || c == '.' || c == '-'))
+        .unwrap_or(rest.len());
+    rest[..end].parse().ok()
+}
+
+fn repo_root() -> std::path::PathBuf {
+    // crates/bench -> crates -> repo root.
+    let manifest = std::path::PathBuf::from(env!("CARGO_MANIFEST_DIR"));
+    match manifest.parent().and_then(std::path::Path::parent) {
+        Some(root) => root.to_path_buf(),
+        None => {
+            eprintln!("error: cannot locate the repo root above crates/bench");
+            std::process::exit(1);
+        }
+    }
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut scale: Option<String> = None;
+    let mut out: Option<String> = None;
+    let mut check: Option<String> = None;
+    let mut threads: Option<usize> = None;
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        let mut value = |name: &str| match it.next() {
+            Some(v) => v.clone(),
+            None => {
+                eprintln!("error: {name} needs a value");
+                std::process::exit(2);
+            }
+        };
+        match arg.as_str() {
+            "--scale" => scale = Some(value("--scale")),
+            "--out" => out = Some(value("--out")),
+            "--check" => check = Some(value("--check")),
+            "--threads" => threads = value("--threads").parse().ok(),
+            _ => {
+                eprintln!(
+                    "usage: engine_baseline [--scale small|medium] [--out PATH] \
+                     [--check BASELINE] [--threads N]"
+                );
+                return ExitCode::from(2);
+            }
+        }
+    }
+    if threads.is_some() {
+        rfc_net::parallel::set_threads(threads);
+    }
+
+    let workloads: Vec<&Workload> = match scale.as_deref() {
+        None => vec![&SMALL, &MEDIUM],
+        Some("small") => vec![&SMALL],
+        Some("medium") => vec![&MEDIUM],
+        Some(other) => {
+            eprintln!("error: unknown scale `{other}` (small|medium)");
+            return ExitCode::from(2);
+        }
+    };
+
+    let mut rendered = Vec::new();
+    let mut failed = false;
+    for w in &workloads {
+        let m = measure(w);
+        eprintln!(
+            "# {}: {} terminals, {} cycles: {:.0} cycles/sec \
+             (routing build {:.1} ms, table build {:.1} ms, accepted {:.3})",
+            m.name,
+            m.terminals,
+            m.cycles,
+            m.cycles_per_sec,
+            m.routing_build_ms,
+            m.table_build_ms,
+            m.accepted_load,
+        );
+        if let Some(path) = &check {
+            match std::fs::read_to_string(path) {
+                Ok(text) => match committed_cycles_per_sec(&text, m.name) {
+                    Some(committed) => {
+                        let floor = committed / 2.0;
+                        if m.cycles_per_sec < floor {
+                            eprintln!(
+                                "error: {} cycles/sec {:.0} is a >2x regression vs the \
+                                 committed {:.0} (floor {:.0})",
+                                m.name, m.cycles_per_sec, committed, floor
+                            );
+                            failed = true;
+                        } else {
+                            eprintln!(
+                                "# {} within budget: {:.0} vs committed {:.0} (floor {:.0})",
+                                m.name, m.cycles_per_sec, committed, floor
+                            );
+                        }
+                    }
+                    None => {
+                        eprintln!("error: no `{}` cycles_per_sec in {path}", m.name);
+                        failed = true;
+                    }
+                },
+                Err(e) => {
+                    eprintln!("error: cannot read baseline {path}: {e}");
+                    failed = true;
+                }
+            }
+        }
+        rendered.push(render_scale(&m));
+    }
+
+    let out_path = out
+        .map(std::path::PathBuf::from)
+        .unwrap_or_else(|| repo_root().join("BENCH_sim.json"));
+    let trajectory = std::fs::read_to_string(&out_path)
+        .ok()
+        .as_deref()
+        .and_then(preserved_trajectory)
+        .unwrap_or_else(|| "[]".to_string());
+    let json = format!(
+        "{{\n  \"schema\": \"rfc-net/engine-baseline/v1\",\n  \"seed\": {SEED},\n  \"threads\": {},\n  \"scales\": {{\n{}\n  }},\n  \"trajectory\": {}\n}}\n",
+        rfc_net::parallel::current_threads(),
+        rendered.join(",\n"),
+        trajectory,
+    );
+    if let Err(e) = std::fs::write(&out_path, &json) {
+        eprintln!("error: cannot write {}: {e}", out_path.display());
+        return ExitCode::FAILURE;
+    }
+    eprintln!("# wrote {}", out_path.display());
+    if failed {
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
+    }
+}

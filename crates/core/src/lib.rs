@@ -56,7 +56,6 @@
 
 pub mod cost;
 pub mod experiments;
-pub mod parallel;
 pub mod report;
 pub mod scenarios;
 pub mod theory;
@@ -75,6 +74,14 @@ pub use rfc_routing as routing;
 
 /// The cycle-level simulator (re-export of `rfc-sim`).
 pub use rfc_sim as sim;
+
+/// The deterministic worker pool (re-export of `rfc-parallel`).
+///
+/// Lives in its own bottom-of-the-stack crate so `rfc-routing` and
+/// `rfc-sim` can parallelize their table builds with the same pool the
+/// experiment drivers use; re-exported here to keep the historical
+/// `rfc_net::parallel` path working.
+pub use rfc_parallel as parallel;
 
 pub use rfc_routing::UpDownRouting;
 pub use rfc_topology::{FoldedClos, Network, Rrn};

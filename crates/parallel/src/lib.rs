@@ -1,11 +1,16 @@
-//! A minimal scoped worker pool for embarrassingly parallel experiment
-//! stages.
+//! A minimal scoped worker pool for embarrassingly parallel stages.
 //!
-//! Every expensive driver in [`crate::experiments`] is a loop of
+//! Every expensive experiment driver in `rfc-net` is a loop of
 //! independent jobs: one simulator run per `(pattern, load)` point, one
-//! Monte-Carlo trial per repetition, one removal order per sample. This
-//! module fans such loops out across OS threads with zero external
-//! dependencies: [`std::thread::scope`] plus an atomic work counter.
+//! Monte-Carlo trial per repetition, one removal order per sample — and
+//! the setup-heavy builds lower in the stack (routing reachability
+//! tables, the simulator's ECMP candidate table) are loops of
+//! independent per-switch chunks. This crate fans such loops out across
+//! OS threads with zero external dependencies: [`std::thread::scope`]
+//! plus an atomic work counter. It sits at the bottom of the workspace
+//! dependency graph (no deps of its own) so every layer — `routing`,
+//! `sim`, and the `rfc-net` facade, which re-exports it as
+//! `rfc_net::parallel` — can share the one pool configuration.
 //!
 //! # Determinism
 //!
@@ -29,6 +34,9 @@
 //! flag), then the `RFC_THREADS` environment variable, then
 //! [`std::thread::available_parallelism`]. A value of 1 runs jobs inline
 //! on the caller's thread with no pool at all.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
 
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;

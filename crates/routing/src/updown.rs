@@ -46,6 +46,13 @@ impl fmt::Debug for UpDownRouting {
 
 impl UpDownRouting {
     /// Builds the routing table for `clos` in `O(links · leaves / 64)`.
+    ///
+    /// The two reachability passes run one level at a time; within a
+    /// level every switch depends only on already-finished levels, so
+    /// each level fans out over the shared worker pool
+    /// (`rfc_parallel`), chunked by switch. Per-switch unions start
+    /// from an empty bitset and visit neighbors in adjacency order, so
+    /// the tables are byte-identical at any thread count.
     pub fn new(clos: &FoldedClos) -> Self {
         let n = clos.num_switches();
         let leaves = clos.num_leaves();
@@ -56,6 +63,11 @@ impl UpDownRouting {
             up.push(clos.up_neighbors(s));
             down.push(clos.down_neighbors(s));
         }
+        let level_ids = |level: usize| -> Vec<u32> {
+            (0..clos.level_size(level))
+                .map(|idx| clos.switch_id(level, idx))
+                .collect()
+        };
 
         // Downward reachability, bottom-up.
         let mut down_reach: Vec<BitSet> = (0..n).map(|_| BitSet::new(leaves)).collect();
@@ -63,28 +75,33 @@ impl UpDownRouting {
             reach.insert(leaf);
         }
         for level in 1..levels {
-            for idx in 0..clos.level_size(level) {
-                let s = clos.switch_id(level, idx) as usize;
-                // Split to satisfy the borrow checker: down-neighbors live
-                // strictly below s in the id order.
-                let (lower, upper) = down_reach.split_at_mut(s);
-                for &d in &down[s] {
-                    upper[0].union_with(&lower[d as usize]);
+            let ids = level_ids(level);
+            let computed = rfc_parallel::map(ids.clone(), |s| {
+                let mut acc = BitSet::new(leaves);
+                for &d in &down[s as usize] {
+                    acc.union_with(&down_reach[d as usize]);
                 }
+                acc
+            });
+            for (s, acc) in ids.into_iter().zip(computed) {
+                down_reach[s as usize] = acc;
             }
         }
 
         // Up-then-down reachability, top-down.
         let mut updown_reach: Vec<BitSet> = (0..n).map(|_| BitSet::new(leaves)).collect();
         for level in (0..levels - 1).rev() {
-            for idx in 0..clos.level_size(level) {
-                let s = clos.switch_id(level, idx) as usize;
-                let (lower, upper) = updown_reach.split_at_mut(s + 1);
-                let slot = &mut lower[s];
-                for &u in &up[s] {
-                    slot.union_with(&down_reach[u as usize]);
-                    slot.union_with(&upper[u as usize - s - 1]);
+            let ids = level_ids(level);
+            let computed = rfc_parallel::map(ids.clone(), |s| {
+                let mut acc = BitSet::new(leaves);
+                for &u in &up[s as usize] {
+                    acc.union_with(&down_reach[u as usize]);
+                    acc.union_with(&updown_reach[u as usize]);
                 }
+                acc
+            });
+            for (s, acc) in ids.into_iter().zip(computed) {
+                updown_reach[s as usize] = acc;
             }
         }
 
@@ -668,6 +685,32 @@ mod tests {
                         "greedy hop {h} loses {b}"
                     );
                 }
+            }
+        }
+    }
+
+    #[test]
+    fn parallel_reachability_build_matches_serial() {
+        // The per-level fan-out must leave the tables byte-identical to
+        // a single-threaded build, on regular and random networks.
+        let mut rng = StdRng::seed_from_u64(13);
+        let nets = [
+            FoldedClos::cft(6, 3).unwrap(),
+            FoldedClos::random(8, 24, 3, &mut rng).unwrap(),
+        ];
+        for net in &nets {
+            rfc_parallel::set_threads(Some(1));
+            let serial = UpDownRouting::new(net);
+            rfc_parallel::set_threads(Some(8));
+            let parallel = UpDownRouting::new(net);
+            rfc_parallel::set_threads(None);
+            for s in 0..net.num_switches() as u32 {
+                assert_eq!(serial.down_reach(s), parallel.down_reach(s), "switch {s}");
+                assert_eq!(
+                    serial.updown_reach(s),
+                    parallel.updown_reach(s),
+                    "switch {s}"
+                );
             }
         }
     }

@@ -1,6 +1,33 @@
 //! The cycle-driven virtual cut-through simulation engine.
-
-use std::collections::VecDeque;
+//!
+//! # Hot-path layout
+//!
+//! The engine is the bottleneck of every simulation figure, so its
+//! per-cycle state is laid out flat (see DESIGN.md §10):
+//!
+//! * **Injection** draws the *gap* to the next injecting terminal from a
+//!   geometric distribution ([`geometric_gap`]) instead of one Bernoulli
+//!   draw per terminal — O(injections), not O(terminals), per cycle.
+//!   Injection and traffic randomness live on a dedicated RNG stream so
+//!   the routing/arbitration stream is independent of the offered load
+//!   path taken.
+//! * **Packet queues** are fixed-capacity ring buffers in one flat
+//!   array (`buffer_packets` slots per virtual channel) — no per-VC
+//!   `VecDeque` headers or heap indirection.
+//! * An **active-VC worklist** drives the request stage: only slots
+//!   that hold packets are visited, with lazy removal when a slot is
+//!   observed empty.
+//! * **Requests** go into one flat preallocated array chained per
+//!   output port (`prev` links + per-output head/count), so arbitration
+//!   touches no nested vectors.
+//! * **ECMP candidates** are materialized as *resolved output ports*
+//!   (and their downstream input ports), eliminating the per-request
+//!   neighbor-to-port binary search.
+//!
+//! Two same-seed runs are byte-identical (at any worker-pool thread
+//! count — the cycle loop itself is single-threaded; only table builds
+//! parallelize). Absolute statistics differ from the pre-overhaul
+//! engine because the RNG draw sequence changed shape.
 
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
@@ -18,6 +45,9 @@ pub(crate) const EVENT_WHEEL: usize = 64;
 /// Sentinel for "no Valiant intermediate".
 const NO_VIA: u32 = u32::MAX;
 
+/// Sentinel for "no request yet" in the per-output request chains.
+const NO_REQ: u32 = u32::MAX;
+
 /// The virtual-channel class a packet may occupy: with Valiant routing,
 /// phase-0 packets (heading to the intermediate) use `[0, v/2)` and
 /// phase-1 packets `[v/2, v)`, breaking the down→up dependency the
@@ -30,6 +60,50 @@ fn vc_range(valiant: bool, in_phase_0: bool, v: usize) -> (usize, usize) {
         (0, v / 2)
     } else {
         (v / 2, v)
+    }
+}
+
+/// Geometric skip-ahead: the number of silent terminals before the next
+/// injecting one, `P(G = k) = (1-p)^k · p`, drawn in O(1) via inversion
+/// as `floor(ln(1-u) / ln(1-p))` with `u` uniform in `[0, 1)`.
+///
+/// `ln_q` is the precomputed `ln(1-p)`: finite negative for `p` in
+/// (0, 1) and `-inf` at `p = 1`, where the gap collapses to 0 — every
+/// terminal injects, the correct limit. The caller must keep `p > 0`
+/// (at `p = 0` the quotient degenerates instead of yielding an infinite
+/// gap). The f64 → usize cast saturates, so huge gaps simply step past
+/// the end of the terminal array.
+#[inline]
+fn geometric_gap(rng: &mut SmallRng, ln_q: f64) -> usize {
+    let u: f64 = rng.gen();
+    ((1.0 - u).ln() / ln_q) as usize
+}
+
+/// Uniform candidate pick shared by the request stage's table and live
+/// paths — both must consume the RNG identically for the materialized
+/// table to be a pure cache. Single-candidate lists (every down-phase
+/// hop in a tree) skip the draw.
+#[inline]
+fn pick_index(
+    mode: RequestMode,
+    len: usize,
+    switch: u32,
+    target: u32,
+    rng: &mut SmallRng,
+) -> usize {
+    match mode {
+        RequestMode::UpDownRandom => {
+            if len == 1 {
+                0
+            } else {
+                rng.gen_range(0..len)
+            }
+        }
+        RequestMode::UpDownHash => {
+            let h = (u64::from(switch).wrapping_mul(0x9E37_79B9_7F4A_7C15))
+                ^ (u64::from(target).wrapping_mul(0xD1B5_4A32_D192_ED03));
+            (h >> 32) as usize % len
+        }
     }
 }
 
@@ -55,12 +129,20 @@ enum Event {
     },
     /// A packet tail leaves an input buffer, freeing one slot.
     Credit { in_port: u32, vc: u8 },
+    /// A parked VC slot re-enters the active worklist: it was stalled
+    /// on outputs that all stay busy until this event's cycle, so
+    /// rescanning it earlier could never have produced a request.
+    Wake { slot: u32 },
 }
 
-/// A pending output-port request from one input virtual channel.
+/// A pending output-port request from one input virtual channel, stored
+/// in the flat per-cycle request array and chained per output port.
 #[derive(Debug, Clone, Copy)]
 struct Request {
     in_port: u32,
+    /// Index of the previous request for the same output port this
+    /// cycle, or [`NO_REQ`] — the chain arbitration walks.
+    prev: u32,
     vc: u8,
     /// Target VC at the downstream input port; unused for ejection.
     target_vc: u8,
@@ -69,14 +151,17 @@ struct Request {
 /// Precomputed ECMP candidate lists. Routing oracles are deterministic
 /// per `(switch, destination)` pair, and the request stage queries them
 /// for every head packet every cycle — so for all but huge networks the
-/// answers are materialized once into a flat table.
+/// answers are materialized once, fully *resolved to ports*: the output
+/// port to request and the downstream input port it feeds, removing the
+/// per-request neighbor binary search from the cycle loop.
 #[derive(Debug)]
 enum Candidates {
     /// `offsets[switch * dst_space + dst] .. offsets[.. + 1]` indexes
-    /// `hops`.
+    /// the parallel `out_ports` / `tgt_ports` arrays.
     Table {
         offsets: Vec<u32>,
-        hops: Vec<u32>,
+        out_ports: Vec<u32>,
+        tgt_ports: Vec<u32>,
         dst_space: usize,
     },
     /// Network too large to materialize; query the oracle live.
@@ -89,29 +174,51 @@ const TABLE_BUDGET: usize = 16_000_000;
 
 /// Reusable per-run buffers for [`Simulation::run_scratch`].
 ///
-/// A run needs queues, credit counters, the event wheel, request lists,
-/// and the latency reservoir — several dozen allocations whose sizes
-/// depend only on the network, not on the traffic. Callers executing
-/// many runs (load sweeps, Monte-Carlo batches, one worker thread of a
-/// parallel driver) build one `RunScratch` and pass it to every run;
-/// the buffers are cleared and resized at the start of each run, so
-/// steady-state execution allocates nothing.
+/// A run needs packet rings, credit counters, the event wheel, request
+/// chains, and the latency reservoir — allocations whose sizes depend
+/// only on the network, not on the traffic. Callers executing many runs
+/// (load sweeps, Monte-Carlo batches, one worker thread of a parallel
+/// driver) build one `RunScratch` and pass it to every run; the buffers
+/// are cleared and resized at the start of each run, so steady-state
+/// execution allocates nothing.
 ///
 /// A scratch may be freely reused across different `Simulation`s and
 /// networks; results are identical to [`Simulation::run`], which simply
 /// uses a fresh scratch internally.
 #[derive(Debug, Default)]
 pub struct RunScratch {
-    queues: Vec<VecDeque<Packet>>,
-    port_occupancy: Vec<u32>,
+    /// Flat ring-buffer packet storage: `buffer_packets` consecutive
+    /// slots per virtual channel, indexed `vc_slot * cap + offset`.
+    pkts: Vec<Packet>,
+    /// Ring-buffer head offset per VC slot.
+    q_head: Vec<u8>,
+    /// Occupied entries per VC slot.
+    q_len: Vec<u8>,
     credits: Vec<u8>,
+    /// Worklist of VC slots that may hold packets; stale entries are
+    /// retired lazily by the request scan.
+    active: Vec<u32>,
+    /// Membership mirror of `active`.
+    in_active: Vec<bool>,
     busy_until: Vec<u64>,
     busy_cycles: Vec<u64>,
     wheel: Vec<Vec<Event>>,
-    req_lists: Vec<Vec<Request>>,
+    /// Flat per-cycle request array; entries chain per output port.
+    reqs: Vec<Request>,
+    /// Most recent request index per output port, or [`NO_REQ`].
+    req_head: Vec<u32>,
+    /// Requests per output port this cycle.
+    req_count: Vec<u32>,
     touched: Vec<u32>,
     hop_buf: Vec<u32>,
     latency_samples: Vec<u32>,
+    /// Slot → owning switch, precomputed so the request scan does one
+    /// load instead of a division plus an indirection.
+    slot_switch: Vec<u32>,
+    /// Slot → input port.
+    slot_in_port: Vec<u32>,
+    /// Slot → virtual channel.
+    slot_vc: Vec<u8>,
 }
 
 impl RunScratch {
@@ -121,28 +228,63 @@ impl RunScratch {
         Self::default()
     }
 
-    /// Clears and resizes every buffer for a network with `n_in` input
-    /// ports, `n_out` output ports, `v` virtual channels, and the given
+    /// Clears and resizes every buffer for `net` under the given
     /// flow-control configuration. Retains capacity across calls.
-    fn reset(&mut self, n_in: usize, n_out: usize, terminals: usize, cfg: &SimConfig) {
+    fn reset(&mut self, net: &SimNetwork, cfg: &SimConfig) {
         let v = cfg.virtual_channels;
-        self.queues.iter_mut().for_each(VecDeque::clear);
-        self.queues.resize_with(n_in * v, VecDeque::new);
-        self.port_occupancy.clear();
-        self.port_occupancy.resize(n_in, 0);
+        let cap = cfg.buffer_packets;
+        let n_in = net.num_in_ports();
+        let n_out = net.num_out_ports();
+        let terminals = net.num_terminals();
+        let slots = n_in * v;
+        // Stale packet payloads are unreachable once q_len is zeroed, so
+        // the ring storage only needs the right length, not a wipe.
+        self.pkts.resize(
+            slots * cap,
+            Packet {
+                dst_terminal: 0,
+                dst_switch: 0,
+                via_switch: NO_VIA,
+                gen_time: 0,
+            },
+        );
+        self.q_head.clear();
+        self.q_head.resize(slots, 0);
+        self.q_len.clear();
+        self.q_len.resize(slots, 0);
         self.credits.clear();
-        self.credits.resize(n_in * v, cfg.buffer_packets as u8);
+        self.credits.resize(slots, cfg.buffer_packets as u8);
+        self.active.clear();
+        self.in_active.clear();
+        self.in_active.resize(slots, false);
         self.busy_until.clear();
         self.busy_until.resize(n_out, 0);
         self.busy_cycles.clear();
         self.busy_cycles.resize(n_out, 0);
         self.wheel.iter_mut().for_each(Vec::clear);
         self.wheel.resize_with(EVENT_WHEEL, Vec::new);
-        self.req_lists.iter_mut().for_each(Vec::clear);
-        self.req_lists.resize_with(n_out, Vec::new);
+        self.reqs.clear();
+        self.req_head.clear();
+        self.req_head.resize(n_out, NO_REQ);
+        self.req_count.clear();
+        self.req_count.resize(n_out, 0);
         self.touched.clear();
         self.hop_buf.clear();
         self.latency_samples.clear();
+        self.slot_switch.clear();
+        self.slot_switch.reserve(slots);
+        self.slot_in_port.clear();
+        self.slot_in_port.reserve(slots);
+        self.slot_vc.clear();
+        self.slot_vc.reserve(slots);
+        for in_port in 0..n_in {
+            let switch = net.switch_of_in_port[in_port];
+            for vc in 0..v {
+                self.slot_switch.push(switch);
+                self.slot_in_port.push(in_port as u32);
+                self.slot_vc.push(vc as u8);
+            }
+        }
         // Preallocate the reservoir up front, capped by the most
         // deliveries the measurement window can physically produce.
         let max_deliveries = (cfg.measure_cycles as usize)
@@ -167,8 +309,12 @@ pub struct Simulation<'a, O> {
     candidates: Candidates,
 }
 
-impl<'a, O: RoutingOracle> Simulation<'a, O> {
+impl<'a, O: RoutingOracle + Sync> Simulation<'a, O> {
     /// Creates a simulation over `net` using `oracle` for next hops.
+    ///
+    /// The candidate table is built over the shared worker pool
+    /// (`rfc_parallel`), chunked by switch; the result is byte-identical
+    /// to a serial build at any thread count.
     ///
     /// # Panics
     ///
@@ -196,23 +342,57 @@ impl<'a, O: RoutingOracle> Simulation<'a, O> {
             .max()
             .map_or(0, |m| m as usize + 1);
         let candidates = if net.num_switches() * dst_space <= budget {
-            let mut offsets = Vec::with_capacity(net.num_switches() * dst_space + 1);
-            let mut hops = Vec::new();
-            offsets.push(0u32);
-            let mut buf = Vec::new();
-            for switch in 0..net.num_switches() as u32 {
-                for dst in 0..dst_space as u32 {
-                    if switch != dst {
-                        buf.clear();
-                        oracle.next_hops_into(switch, dst, &mut buf);
-                        hops.extend_from_slice(&buf);
+            // One job per switch; per-switch segments come back in
+            // switch order and are stitched serially, so the table is
+            // byte-identical to a serial build at any thread count.
+            let per_switch: Vec<(Vec<u32>, Vec<u32>, Vec<u32>)> = rfc_parallel::map_init(
+                (0..net.num_switches() as u32).collect(),
+                Vec::new,
+                |buf: &mut Vec<u32>, switch| {
+                    let mut lens = Vec::with_capacity(dst_space);
+                    let mut outs = Vec::new();
+                    let mut tgts = Vec::new();
+                    for dst in 0..dst_space as u32 {
+                        let before = outs.len();
+                        if switch != dst {
+                            buf.clear();
+                            oracle.next_hops_into(switch, dst, buf);
+                            for &hop in buf.iter() {
+                                let out = net
+                                    .out_port_to(switch, hop)
+                                    .expect("oracle returned a non-neighbor");
+                                let tgt = match net.out_target[out as usize] {
+                                    OutTarget::Link { in_port, .. } => in_port,
+                                    OutTarget::Eject { .. } => {
+                                        unreachable!("next-hop ports are links")
+                                    }
+                                };
+                                outs.push(out);
+                                tgts.push(tgt);
+                            }
+                        }
+                        lens.push((outs.len() - before) as u32);
                     }
-                    offsets.push(hops.len() as u32);
+                    (lens, outs, tgts)
+                },
+            );
+            let mut offsets = Vec::with_capacity(net.num_switches() * dst_space + 1);
+            offsets.push(0u32);
+            let mut out_ports = Vec::new();
+            let mut tgt_ports = Vec::new();
+            let mut total = 0u32;
+            for (lens, outs, tgts) in per_switch {
+                for len in lens {
+                    total += len;
+                    offsets.push(total);
                 }
+                out_ports.extend_from_slice(&outs);
+                tgt_ports.extend_from_slice(&tgts);
             }
             Candidates::Table {
                 offsets,
-                hops,
+                out_ports,
+                tgt_ports,
                 dst_space,
             }
         } else {
@@ -226,24 +406,36 @@ impl<'a, O: RoutingOracle> Simulation<'a, O> {
         }
     }
 
-    /// ECMP candidates for a packet at `switch` headed to `dst`,
-    /// appended to `buf` (which is cleared first).
+    /// Whether any route exists from `switch` toward `dst` — the cheap
+    /// injection-time pre-check.
     #[inline]
-    fn next_hops<'b>(&'b self, switch: u32, dst: u32, buf: &'b mut Vec<u32>) -> &'b [u32] {
+    fn has_route(&self, switch: u32, dst: u32, buf: &mut Vec<u32>) -> bool {
         match &self.candidates {
             Candidates::Table {
-                offsets,
-                hops,
-                dst_space,
+                offsets, dst_space, ..
             } => {
                 let idx = switch as usize * dst_space + dst as usize;
-                &hops[offsets[idx] as usize..offsets[idx + 1] as usize]
+                offsets[idx + 1] > offsets[idx]
             }
             Candidates::Live => {
                 buf.clear();
                 self.oracle.next_hops_into(switch, dst, buf);
-                buf
+                !buf.is_empty()
             }
+        }
+    }
+
+    /// The raw table arrays, for the serial-vs-parallel build tests.
+    #[cfg(test)]
+    fn table_parts(&self) -> Option<(&[u32], &[u32], &[u32])> {
+        match &self.candidates {
+            Candidates::Table {
+                offsets,
+                out_ports,
+                tgt_ports,
+                ..
+            } => Some((offsets, out_ports, tgt_ports)),
+            Candidates::Live => None,
         }
     }
 
@@ -285,6 +477,13 @@ impl<'a, O: RoutingOracle> Simulation<'a, O> {
 
     /// [`Simulation::run_with_probes`] over caller-owned buffers; the
     /// common implementation behind every `run` variant.
+    ///
+    /// Two RNG streams, both derived from `seed`: the *injection*
+    /// stream (traffic state, skip-ahead gaps, destinations, Valiant
+    /// intermediates) and the *main* stream (candidate picks, target-VC
+    /// starts, arbitration, the latency reservoir). Keeping them apart
+    /// means routing randomness does not depend on how many terminals
+    /// injected, which is what lets the injection loop skip ahead.
     pub fn run_with_probes_scratch(
         &self,
         pattern: TrafficPattern,
@@ -295,33 +494,42 @@ impl<'a, O: RoutingOracle> Simulation<'a, O> {
         let cfg = self.config;
         let net = self.net;
         let v = cfg.virtual_channels;
-        let n_in = net.num_in_ports();
-        let n_out = net.num_out_ports();
+        let cap = cfg.buffer_packets;
         let terminals = net.num_terminals();
-        // SmallRng: the engine makes several RNG draws per active
-        // virtual channel per cycle, so generator speed dominates at
-        // saturation; xoshiro is ~4x faster than the default ChaCha and
-        // still seed-deterministic.
+        // SmallRng: the engine makes RNG draws per active virtual
+        // channel per cycle, so generator speed matters at saturation;
+        // xoshiro is ~4x faster than the default ChaCha and still
+        // seed-deterministic.
         let mut rng = SmallRng::seed_from_u64(seed);
-        let traffic = TrafficState::new(pattern, terminals, &mut rng);
+        let mut inj_rng = SmallRng::seed_from_u64(rfc_parallel::child_seed(seed, 1));
+        let traffic = TrafficState::new(pattern, terminals, &mut inj_rng);
 
-        scratch.reset(n_in, n_out, terminals, &cfg);
+        scratch.reset(net, &cfg);
         let RunScratch {
-            queues,
-            // Packets buffered per input port, so the request scan can
-            // skip idle ports without touching their VC queues.
-            port_occupancy,
+            pkts,
+            q_head,
+            q_len,
             credits,
+            active,
+            in_active,
             busy_until,
             busy_cycles,
             wheel,
-            req_lists,
+            reqs,
+            req_head,
+            req_count,
             touched,
             hop_buf,
             latency_samples,
+            slot_switch,
+            slot_in_port,
+            slot_vc,
         } = scratch;
 
         let p_gen = (offered_load / cfg.packet_length as f64).clamp(0.0, 1.0);
+        // Skip-ahead denominator ln(1-p); see `geometric_gap` for the
+        // p = 1 limit. Only used when p_gen > 0.
+        let ln_q = (1.0 - p_gen).ln();
         let warmup = cfg.warmup_cycles;
         let end = cfg.total_cycles();
 
@@ -331,6 +539,7 @@ impl<'a, O: RoutingOracle> Simulation<'a, O> {
         let mut delivered = 0u64;
         let mut latency_sum = 0u64;
 
+        // xtask: hot-loop-begin — the cycle loop must stay allocation-free
         for now in 0..end {
             let in_window = now >= warmup;
             // 1. Deliver scheduled events. Drain (rather than take) the
@@ -344,195 +553,346 @@ impl<'a, O: RoutingOracle> Simulation<'a, O> {
                         vc,
                         packet,
                     } => {
-                        queues[in_port as usize * v + vc as usize].push_back(packet);
-                        port_occupancy[in_port as usize] += 1;
+                        let s = in_port as usize * v + vc as usize;
+                        // Ring tail; the wrap-if avoids a runtime modulo.
+                        let mut pos = q_head[s] as usize + q_len[s] as usize;
+                        if pos >= cap {
+                            pos -= cap;
+                        }
+                        pkts[s * cap + pos] = packet;
+                        q_len[s] += 1;
+                        if !in_active[s] {
+                            in_active[s] = true;
+                            active.push(s as u32);
+                        }
                     }
                     Event::Credit { in_port, vc } => {
                         credits[in_port as usize * v + vc as usize] += 1;
                     }
+                    Event::Wake { slot } => {
+                        let s = slot as usize;
+                        if q_len[s] > 0 && !in_active[s] {
+                            in_active[s] = true;
+                            active.push(slot);
+                        }
+                    }
                 }
             }
 
-            // 2. Injection: Bernoulli generation per terminal, "shortest"
-            //    injection mode — the virtual channel with most free slots.
-            for t in 0..terminals as u32 {
-                if p_gen <= 0.0 || rng.gen::<f64>() >= p_gen {
-                    continue;
-                }
-                let Some(dst) = traffic.dest(t, &mut rng) else {
-                    continue;
-                };
-                let dst_switch = net.dst_switch_of_terminal[dst as usize];
-                let src_switch = net.dst_switch_of_terminal[t as usize];
-                // Valiant stage: bounce through a random terminal's
-                // switch first.
-                let via_switch = if cfg.valiant_routing {
-                    let mid = rng.gen_range(0..terminals as u32);
-                    let v = net.dst_switch_of_terminal[mid as usize];
-                    if v == src_switch || v == dst_switch {
-                        NO_VIA
-                    } else {
-                        v
+            // 2. Injection, "shortest" injection mode — the virtual
+            //    channel with most free slots. The geometric skip-ahead
+            //    visits exactly the terminals a per-terminal Bernoulli
+            //    draw would have selected (identical in distribution).
+            if p_gen > 0.0 {
+                let mut t = geometric_gap(&mut inj_rng, ln_q);
+                while t < terminals {
+                    let src = t as u32;
+                    'inject: {
+                        let Some(dst) = traffic.dest(src, &mut inj_rng) else {
+                            break 'inject;
+                        };
+                        let dst_switch = net.dst_switch_of_terminal[dst as usize];
+                        let src_switch = net.dst_switch_of_terminal[src as usize];
+                        // Valiant stage: bounce through a random
+                        // terminal's switch first.
+                        let via_switch = if cfg.valiant_routing {
+                            let mid = inj_rng.gen_range(0..terminals as u32);
+                            let vs = net.dst_switch_of_terminal[mid as usize];
+                            if vs == src_switch || vs == dst_switch {
+                                NO_VIA
+                            } else {
+                                vs
+                            }
+                        } else {
+                            NO_VIA
+                        };
+                        let first_target = if via_switch != NO_VIA {
+                            via_switch
+                        } else {
+                            dst_switch
+                        };
+                        if src_switch != first_target
+                            && !self.has_route(src_switch, first_target, hop_buf)
+                        {
+                            if in_window {
+                                unroutable += 1;
+                            }
+                            break 'inject;
+                        }
+                        if via_switch != NO_VIA
+                            && via_switch != dst_switch
+                            && !self.has_route(via_switch, dst_switch, hop_buf)
+                        {
+                            if in_window {
+                                unroutable += 1;
+                            }
+                            break 'inject;
+                        }
+                        let in_port = net.inject_port_of_terminal[src as usize] as usize;
+                        let base = in_port * v;
+                        // Valiant phase partition: packets still heading
+                        // to an intermediate use the first half of the
+                        // VCs. The range is nonempty by construction:
+                        // assert_valid requires >= 2 VCs whenever
+                        // Valiant splits them.
+                        let (vc_lo, vc_hi) = vc_range(cfg.valiant_routing, via_switch != NO_VIA, v);
+                        let mut best = vc_lo;
+                        for c in vc_lo + 1..vc_hi {
+                            if credits[base + c] > credits[base + best] {
+                                best = c;
+                            }
+                        }
+                        if credits[base + best] == 0 {
+                            if in_window {
+                                refused += 1;
+                            }
+                            break 'inject;
+                        }
+                        credits[base + best] -= 1;
+                        let s = base + best;
+                        let mut pos = q_head[s] as usize + q_len[s] as usize;
+                        if pos >= cap {
+                            pos -= cap;
+                        }
+                        pkts[s * cap + pos] = Packet {
+                            dst_terminal: dst,
+                            dst_switch,
+                            via_switch,
+                            gen_time: now,
+                        };
+                        q_len[s] += 1;
+                        if !in_active[s] {
+                            in_active[s] = true;
+                            active.push(s as u32);
+                        }
+                        if in_window {
+                            generated += 1;
+                        }
                     }
-                } else {
-                    NO_VIA
-                };
-                let first_target = if via_switch != NO_VIA {
-                    via_switch
-                } else {
-                    dst_switch
-                };
-                if src_switch != first_target
-                    && self.next_hops(src_switch, first_target, hop_buf).is_empty()
-                {
-                    unroutable += 1;
-                    continue;
-                }
-                if via_switch != NO_VIA
-                    && via_switch != dst_switch
-                    && self.next_hops(via_switch, dst_switch, hop_buf).is_empty()
-                {
-                    unroutable += 1;
-                    continue;
-                }
-                let in_port = net.inject_port_of_terminal[t as usize] as usize;
-                let base = in_port * v;
-                // Valiant phase partition: packets still heading to an
-                // intermediate use the first half of the VCs.
-                let (vc_lo, vc_hi) = vc_range(cfg.valiant_routing, via_switch != NO_VIA, v);
-                // The range is nonempty by construction: assert_valid
-                // requires >= 2 VCs whenever Valiant splits them.
-                let mut best = vc_lo;
-                for c in vc_lo + 1..vc_hi {
-                    if credits[base + c] > credits[base + best] {
-                        best = c;
-                    }
-                }
-                if credits[base + best] == 0 {
-                    if in_window {
-                        refused += 1;
-                    }
-                    continue;
-                }
-                credits[base + best] -= 1;
-                queues[base + best].push_back(Packet {
-                    dst_terminal: dst,
-                    dst_switch,
-                    via_switch,
-                    gen_time: now,
-                });
-                port_occupancy[in_port] += 1;
-                if in_window {
-                    generated += 1;
+                    t = t
+                        .saturating_add(geometric_gap(&mut inj_rng, ln_q))
+                        .saturating_add(1);
                 }
             }
 
             // 3. Routing requests: every head packet asks for one random
             //    candidate output (the "up/down random" request mode).
-            for in_port in 0..n_in {
-                if port_occupancy[in_port] == 0 {
+            //    Only occupied VC slots are visited; slots drained by a
+            //    previous arbitration round retire here. A slot whose
+            //    candidate outputs are ALL busy is *parked*: removed
+            //    from the worklist with a `Wake` scheduled for the
+            //    cycle the earliest output frees — until then a rescan
+            //    could never form a request, so skipping it is exact.
+            let mut i = 0;
+            'slots: while i < active.len() {
+                let s = active[i] as usize;
+                if q_len[s] == 0 {
+                    in_active[s] = false;
+                    active.swap_remove(i);
                     continue;
                 }
-                let switch = net.switch_of_in_port[in_port];
-                for vc in 0..v {
-                    let Some(head) = queues[in_port * v + vc].front_mut() else {
+                let switch = slot_switch[s];
+                let head = &mut pkts[s * cap + q_head[s] as usize];
+                // Valiant phase transition: the intermediate has been
+                // reached, continue toward the real target.
+                if head.via_switch == switch {
+                    head.via_switch = NO_VIA;
+                }
+                let routing_target = if head.via_switch != NO_VIA {
+                    head.via_switch
+                } else {
+                    head.dst_switch
+                };
+                let head = *head;
+                // Parks the current slot until `wake` (at most
+                // packet_length cycles out, within the wheel horizon).
+                macro_rules! park_until {
+                    ($wake:expr) => {{
+                        in_active[s] = false;
+                        active.swap_remove(i);
+                        wheel[($wake as usize) % EVENT_WHEEL].push(Event::Wake { slot: s as u32 });
+                        continue 'slots;
+                    }};
+                }
+                let (out_port, target_vc) = if routing_target == switch {
+                    let out = net.eject_port_of_terminal[head.dst_terminal as usize];
+                    let free_at = busy_until[out as usize];
+                    if free_at > now {
+                        // The ejector is this packet's only way out.
+                        park_until!(free_at);
+                    }
+                    (out, u8::MAX)
+                } else {
+                    let (out, tgt_in) = match &self.candidates {
+                        Candidates::Table {
+                            offsets,
+                            out_ports,
+                            tgt_ports,
+                            dst_space,
+                        } => {
+                            let ci = switch as usize * dst_space + routing_target as usize;
+                            let lo = offsets[ci] as usize;
+                            let hi = offsets[ci + 1] as usize;
+                            if hi == lo {
+                                // Statically faulted networks never
+                                // strand a packet mid-route (injection
+                                // pre-checks), but stay safe: stall it.
+                                i += 1;
+                                continue;
+                            }
+                            let k = lo
+                                + pick_index(
+                                    cfg.request_mode,
+                                    hi - lo,
+                                    switch,
+                                    routing_target,
+                                    &mut rng,
+                                );
+                            let out = out_ports[k];
+                            if busy_until[out as usize] > now {
+                                let mut wake = u64::MAX;
+                                for cand in &out_ports[lo..hi] {
+                                    wake = wake.min(busy_until[*cand as usize]);
+                                }
+                                if wake > now {
+                                    park_until!(wake);
+                                }
+                                // A free sibling exists: retry the
+                                // uniform pick next cycle.
+                                i += 1;
+                                continue;
+                            }
+                            (out, tgt_ports[k])
+                        }
+                        Candidates::Live => {
+                            hop_buf.clear();
+                            self.oracle.next_hops_into(switch, routing_target, hop_buf);
+                            if hop_buf.is_empty() {
+                                i += 1;
+                                continue;
+                            }
+                            let k = pick_index(
+                                cfg.request_mode,
+                                hop_buf.len(),
+                                switch,
+                                routing_target,
+                                &mut rng,
+                            );
+                            let hop = hop_buf[k];
+                            // An oracle handing back a non-neighbor (or
+                            // an ejection port) is a routing bug; stall
+                            // the packet instead of panicking mid-run.
+                            let Some(out) = net.out_port_to(switch, hop) else {
+                                debug_assert!(false, "oracle returned non-neighbor {hop}");
+                                i += 1;
+                                continue;
+                            };
+                            let OutTarget::Link { in_port: tgt, .. } = net.out_target[out as usize]
+                            else {
+                                debug_assert!(false, "next-hop port {out} is not a link");
+                                i += 1;
+                                continue;
+                            };
+                            if busy_until[out as usize] > now {
+                                // Mirror the table path exactly (the
+                                // cached-vs-live agreement contract):
+                                // park only when every candidate is
+                                // busy.
+                                let mut wake = u64::MAX;
+                                for &cand in hop_buf.iter() {
+                                    if let Some(o) = net.out_port_to(switch, cand) {
+                                        wake = wake.min(busy_until[o as usize]);
+                                    }
+                                }
+                                if wake > now {
+                                    park_until!(wake);
+                                }
+                                i += 1;
+                                continue;
+                            }
+                            (out, tgt)
+                        }
+                    };
+                    // Random target VC among those with a free slot,
+                    // restricted to the packet's Valiant phase class.
+                    // Wrap-if rotation instead of a per-step modulo.
+                    let (vc_lo, vc_hi) =
+                        vc_range(cfg.valiant_routing, head.via_switch != NO_VIA, v);
+                    let span = vc_hi - vc_lo;
+                    let start = if span == 1 { 0 } else { rng.gen_range(0..span) };
+                    let tgt_base = tgt_in as usize * v;
+                    let mut cand = vc_lo + start;
+                    let mut chosen = None;
+                    for _ in 0..span {
+                        if credits[tgt_base + cand] > 0 {
+                            chosen = Some(cand as u8);
+                            break;
+                        }
+                        cand += 1;
+                        if cand == vc_hi {
+                            cand = vc_lo;
+                        }
+                    }
+                    let Some(tvc) = chosen else {
+                        // Downstream credits return at unpredictable
+                        // times; keep the slot live and retry.
+                        i += 1;
                         continue;
                     };
-                    // Valiant phase transition: the intermediate has
-                    // been reached, continue toward the real target.
-                    if head.via_switch == switch {
-                        head.via_switch = NO_VIA;
-                    }
-                    let routing_target = if head.via_switch != NO_VIA {
-                        head.via_switch
-                    } else {
-                        head.dst_switch
-                    };
-                    let head = *head;
-                    let (out_port, target_vc) = if routing_target == switch {
-                        let out = net.eject_port_of_terminal[head.dst_terminal as usize];
-                        if busy_until[out as usize] > now {
-                            continue;
-                        }
-                        (out, u8::MAX)
-                    } else {
-                        let cands = self.next_hops(switch, routing_target, hop_buf);
-                        if cands.is_empty() {
-                            // Statically faulted networks never strand a
-                            // packet mid-route (injection pre-checks), but
-                            // stay safe: stall it.
-                            continue;
-                        }
-                        let hop = match cfg.request_mode {
-                            RequestMode::UpDownRandom => cands[rng.gen_range(0..cands.len())],
-                            RequestMode::UpDownHash => {
-                                let h = (u64::from(switch).wrapping_mul(0x9E37_79B9_7F4A_7C15))
-                                    ^ (u64::from(routing_target)
-                                        .wrapping_mul(0xD1B5_4A32_D192_ED03));
-                                cands[(h >> 32) as usize % cands.len()]
-                            }
-                        };
-                        let out = net
-                            .out_port_to(switch, hop)
-                            .expect("oracle returned a non-neighbor");
-                        if busy_until[out as usize] > now {
-                            continue;
-                        }
-                        let tgt_in = match net.out_target[out as usize] {
-                            OutTarget::Link { in_port, .. } => in_port as usize,
-                            OutTarget::Eject { .. } => unreachable!("link port expected"),
-                        };
-                        // Random target VC among those with a free slot,
-                        // restricted to the packet's Valiant phase class.
-                        let (vc_lo, vc_hi) =
-                            vc_range(cfg.valiant_routing, head.via_switch != NO_VIA, v);
-                        let span = vc_hi - vc_lo;
-                        let start = rng.gen_range(0..span);
-                        let mut chosen = None;
-                        for off in 0..span {
-                            let cand = vc_lo + (start + off) % span;
-                            if credits[tgt_in * v + cand] > 0 {
-                                chosen = Some(cand as u8);
-                                break;
-                            }
-                        }
-                        let Some(tvc) = chosen else { continue };
-                        (out, tvc)
-                    };
-                    if req_lists[out_port as usize].is_empty() {
-                        touched.push(out_port);
-                    }
-                    req_lists[out_port as usize].push(Request {
-                        in_port: in_port as u32,
-                        vc: vc as u8,
-                        target_vc,
-                    });
+                    (out, tvc)
+                };
+                let o = out_port as usize;
+                if req_count[o] == 0 {
+                    touched.push(out_port);
                 }
+                reqs.push(Request {
+                    in_port: slot_in_port[s],
+                    prev: req_head[o],
+                    vc: slot_vc[s],
+                    target_vc,
+                });
+                req_head[o] = (reqs.len() - 1) as u32;
+                req_count[o] += 1;
+                i += 1;
             }
 
             // 4. Random arbitration, one iteration: each free output port
-            //    grants one random requester.
+            //    grants one random requester, found by walking the
+            //    request chain a uniform number of steps back.
             for &out in touched.iter() {
-                let reqs = &mut req_lists[out as usize];
-                if reqs.is_empty() {
+                let o = out as usize;
+                let n = req_count[o] as usize;
+                req_count[o] = 0;
+                let mut ri = req_head[o];
+                req_head[o] = NO_REQ;
+                let back = if n <= 1 { 0 } else { rng.gen_range(0..n) };
+                for _ in 0..back {
+                    ri = reqs[ri as usize].prev;
+                }
+                let pick = reqs[ri as usize];
+                let s = pick.in_port as usize * v + pick.vc as usize;
+                // A granted VC always still holds its head packet (one
+                // request per VC per cycle, one grant per output), but
+                // never panic in the hot loop if that invariant breaks.
+                if q_len[s] == 0 {
+                    debug_assert!(false, "granted VC slot {s} is empty");
                     continue;
                 }
-                let pick = reqs[rng.gen_range(0..reqs.len())];
-                reqs.clear();
-                debug_assert!(busy_until[out as usize] <= now);
-                let q = &mut queues[pick.in_port as usize * v + pick.vc as usize];
-                let packet = q.pop_front().expect("requesting VC cannot be empty");
-                port_occupancy[pick.in_port as usize] -= 1;
-                busy_until[out as usize] = now + cfg.packet_length;
+                let packet = pkts[s * cap + q_head[s] as usize];
+                let next_head = q_head[s] as usize + 1;
+                q_head[s] = if next_head == cap { 0 } else { next_head as u8 };
+                q_len[s] -= 1;
+                debug_assert!(busy_until[o] <= now);
+                busy_until[o] = now + cfg.packet_length;
                 if in_window {
-                    busy_cycles[out as usize] += cfg.packet_length.min(end - now);
+                    busy_cycles[o] += cfg.packet_length.min(end - now);
                 }
                 let credit_at = ((now + cfg.packet_length) as usize) % EVENT_WHEEL;
                 wheel[credit_at].push(Event::Credit {
                     in_port: pick.in_port,
                     vc: pick.vc,
                 });
-                match net.out_target[out as usize] {
+                match net.out_target[o] {
                     OutTarget::Eject { terminal } => {
                         debug_assert_eq!(terminal, packet.dst_terminal);
                         if in_window {
@@ -565,9 +925,11 @@ impl<'a, O: RoutingOracle> Simulation<'a, O> {
                 }
             }
             touched.clear();
+            reqs.clear();
         }
+        // xtask: hot-loop-end
 
-        let in_flight: u64 = queues.iter().map(|q| q.len() as u64).sum::<u64>()
+        let in_flight: u64 = q_len.iter().map(|&l| u64::from(l)).sum::<u64>()
             + wheel
                 .iter()
                 .flatten()
@@ -679,6 +1041,35 @@ mod tests {
     }
 
     #[test]
+    fn scratch_reuse_across_networks_is_equivalent() {
+        // The flat ring/request buffers must resize correctly when one
+        // scratch hops between networks of different port counts.
+        let big = FoldedClos::cft(6, 3).unwrap();
+        let big_routing = UpDownRouting::new(&big);
+        let big_net = SimNetwork::from_folded_clos(&big);
+        let big_sim = Simulation::new(&big_net, &big_routing, SimConfig::quick());
+        let (small_net, small_routing) = tiny_sim();
+        let small_sim = Simulation::new(&small_net, &small_routing, SimConfig::quick());
+
+        let mut scratch = RunScratch::new();
+        let big_fresh = big_sim.run(TrafficPattern::Uniform, 0.7, 17);
+        let small_fresh = small_sim.run(TrafficPattern::Uniform, 0.7, 17);
+        // big -> small -> big through the same scratch.
+        assert_eq!(
+            big_sim.run_scratch(TrafficPattern::Uniform, 0.7, 17, &mut scratch),
+            big_fresh
+        );
+        assert_eq!(
+            small_sim.run_scratch(TrafficPattern::Uniform, 0.7, 17, &mut scratch),
+            small_fresh
+        );
+        assert_eq!(
+            big_sim.run_scratch(TrafficPattern::Uniform, 0.7, 17, &mut scratch),
+            big_fresh
+        );
+    }
+
+    #[test]
     fn zero_load_delivers_nothing() {
         let (net, routing) = tiny_sim();
         let sim = Simulation::new(&net, &routing, SimConfig::quick());
@@ -687,6 +1078,57 @@ mod tests {
         assert_eq!(r.generated_packets, 0);
         assert!(r.avg_latency.is_nan());
         assert_eq!(r.accepted_load, 0.0);
+    }
+
+    #[test]
+    fn geometric_gaps_have_the_geometric_mean() {
+        // E[G] = (1-p)/p for P(G=k) = (1-p)^k p.
+        let mut rng = SmallRng::seed_from_u64(42);
+        for p in [0.05f64, 0.2, 0.7] {
+            let ln_q = (1.0 - p).ln();
+            let n = 40_000;
+            let mean = (0..n)
+                .map(|_| geometric_gap(&mut rng, ln_q) as f64)
+                .sum::<f64>()
+                / n as f64;
+            let expected = (1.0 - p) / p;
+            assert!(
+                (mean - expected).abs() < expected * 0.08 + 0.02,
+                "p={p}: mean gap {mean} vs expected {expected}"
+            );
+        }
+        // p = 1: the gap degenerates to 0 (every terminal injects).
+        let mut rng = SmallRng::seed_from_u64(43);
+        for _ in 0..100 {
+            assert_eq!(geometric_gap(&mut rng, 0f64.ln()), 0);
+        }
+    }
+
+    #[test]
+    fn skip_ahead_injection_matches_the_offered_rate() {
+        // The generated-packet rate must track offered_load across loads
+        // and seeds — the statistical-equivalence contract of the
+        // skip-ahead sampler (exactly Bernoulli per terminal per cycle).
+        let clos = FoldedClos::cft(8, 2).unwrap();
+        let routing = UpDownRouting::new(&clos);
+        let net = SimNetwork::from_folded_clos(&clos);
+        let mut cfg = SimConfig::quick();
+        cfg.measure_cycles = 4_000;
+        let sim = Simulation::new(&net, &routing, cfg);
+        let mut scratch = RunScratch::new();
+        for load in [0.05f64, 0.2, 0.5] {
+            for seed in [1u64, 2, 3] {
+                let r = sim.run_scratch(TrafficPattern::Uniform, load, seed, &mut scratch);
+                let expected = load / cfg.packet_length as f64
+                    * net.num_terminals() as f64
+                    * cfg.measure_cycles as f64;
+                let got = r.generated_packets as f64;
+                assert!(
+                    (got - expected).abs() < expected * 0.15,
+                    "load {load} seed {seed}: generated {got}, expected ~{expected}"
+                );
+            }
+        }
     }
 
     #[test]
@@ -760,6 +1202,41 @@ mod tests {
                 || a.latency_p99 != c.latency_p99,
             "seeds 9 and 10 produced identical results: {a:?}"
         );
+    }
+
+    #[test]
+    fn runs_are_identical_at_any_build_thread_count() {
+        // Thread count only affects table construction (byte-identical
+        // by design), so whole-run results must not move either.
+        let clos = FoldedClos::cft(6, 3).unwrap();
+        let routing = UpDownRouting::new(&clos);
+        let net = SimNetwork::from_folded_clos(&clos);
+        rfc_parallel::set_threads(Some(1));
+        let serial = Simulation::new(&net, &routing, SimConfig::quick());
+        rfc_parallel::set_threads(Some(8));
+        let parallel = Simulation::new(&net, &routing, SimConfig::quick());
+        rfc_parallel::set_threads(None);
+        assert_eq!(
+            serial.run(TrafficPattern::Uniform, 0.6, 12),
+            parallel.run(TrafficPattern::Uniform, 0.6, 12),
+        );
+    }
+
+    #[test]
+    fn parallel_table_build_is_byte_identical_to_serial() {
+        let clos = FoldedClos::cft(6, 3).unwrap();
+        let routing = UpDownRouting::new(&clos);
+        let net = SimNetwork::from_folded_clos(&clos);
+        let cfg = SimConfig::quick();
+        rfc_parallel::set_threads(Some(1));
+        let serial = Simulation::new(&net, &routing, cfg);
+        rfc_parallel::set_threads(Some(8));
+        let parallel = Simulation::new(&net, &routing, cfg);
+        rfc_parallel::set_threads(None);
+        let s = serial.table_parts().expect("table fits the budget");
+        let p = parallel.table_parts().expect("table fits the budget");
+        assert_eq!(s, p, "parallel build diverged from serial");
+        assert!(!s.1.is_empty(), "table must hold resolved ports");
     }
 
     #[test]
@@ -983,5 +1460,33 @@ mod tests {
         let r = sim.run(TrafficPattern::Uniform, 0.5, 8);
         assert!(r.refused_packets > 0, "leaf 0 sources must be refused");
         assert!(r.delivered_packets > 0, "other leaves keep communicating");
+    }
+
+    #[test]
+    fn unroutable_counting_respects_the_measurement_window() {
+        // Regression: `unroutable` used to increment over the warmup
+        // too, while `refused` was window-gated — yet refused_packets
+        // sums both. With both gated, a longer warmup in front of the
+        // same measurement window must not inflate the count.
+        let clos = FoldedClos::cft(4, 2).unwrap();
+        let faults: Vec<_> = clos.links().into_iter().filter(|l| l.lower == 0).collect();
+        let faulty = clos.with_links_removed(&faults);
+        let routing = UpDownRouting::new(&faulty);
+        let net = SimNetwork::from_folded_clos(&faulty);
+        let mut short = SimConfig::quick();
+        short.warmup_cycles = 0;
+        short.measure_cycles = 2_000;
+        let mut long = short;
+        long.warmup_cycles = 4_000;
+        let a = Simulation::new(&net, &routing, short).run(TrafficPattern::Uniform, 0.5, 11);
+        let b = Simulation::new(&net, &routing, long).run(TrafficPattern::Uniform, 0.5, 11);
+        assert!(a.refused_packets > 20, "fault must refuse packets");
+        let (a, b) = (a.refused_packets as f64, b.refused_packets as f64);
+        // Same window length => statistically equal counts; the old
+        // asymmetric gating would have made b ~3x a here.
+        assert!(
+            b < a * 1.5 && b > a * 0.5,
+            "window-gated counts diverged: {a} vs {b}"
+        );
     }
 }

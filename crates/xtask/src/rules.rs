@@ -1,5 +1,5 @@
-//! The lint rules: determinism bans, panic-surface counting, and the
-//! expect-message requirement.
+//! The lint rules: determinism bans, panic-surface counting, the
+//! expect-message requirement, and the hot-loop allocation ban.
 //!
 //! Rules operate on the comment/string-stripped code text produced by
 //! [`crate::scan`]; test code (inline `#[cfg(test)]` items as well as
@@ -19,6 +19,15 @@ pub const RULE_WALL_CLOCK: &str = "wall-clock";
 pub const RULE_AMBIENT_RNG: &str = "ambient-rng";
 /// Rule name for `expect` calls without a literal message.
 pub const RULE_EXPECT_MESSAGE: &str = "expect-message";
+/// Rule name for heap allocation inside a marked hot-loop region.
+pub const RULE_HOT_LOOP_ALLOC: &str = "hot-loop-alloc";
+
+/// Raw-comment marker opening a hot-loop region (e.g. the simulator's
+/// cycle loop): until the matching end marker, allocating calls are
+/// banned so steady-state iterations stay allocation-free.
+pub const HOT_LOOP_BEGIN: &str = "xtask: hot-loop-begin";
+/// Raw-comment marker closing a hot-loop region.
+pub const HOT_LOOP_END: &str = "xtask: hot-loop-end";
 
 /// One rule violation, positioned for `path:line` diagnostics.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -104,11 +113,37 @@ pub fn analyze_source(source: &str, deterministic: bool, test_file: bool) -> Fil
     if test_file {
         return analysis;
     }
+    // Hot-loop regions are delimited by raw-comment markers; track the
+    // opening line for the unterminated-region diagnostic.
+    let mut hot_since: Option<usize> = None;
     for (idx, line) in lines.iter().enumerate() {
         if line.in_test {
             continue;
         }
         let lineno = idx + 1;
+        if line.raw.contains(HOT_LOOP_BEGIN) {
+            hot_since = Some(lineno);
+        } else if line.raw.contains(HOT_LOOP_END) {
+            hot_since = None;
+        }
+        if hot_since.is_some() {
+            for needle in ["Vec::new", "vec!", "Box::new", "String::new", "to_vec"] {
+                if !contains_token(&line.code, needle) {
+                    continue;
+                }
+                if allowed(&lines, idx, RULE_HOT_LOOP_ALLOC) {
+                    continue;
+                }
+                analysis.violations.push(Violation {
+                    rule: RULE_HOT_LOOP_ALLOC.to_string(),
+                    line: lineno,
+                    message: format!(
+                        "`{needle}` allocates inside a hot-loop region; preallocate in the \
+                         scratch buffers or move it outside the markers"
+                    ),
+                });
+            }
+        }
         if deterministic {
             for rule in DETERMINISM_RULES {
                 for needle in rule.needles {
@@ -146,6 +181,13 @@ pub fn analyze_source(source: &str, deterministic: bool, test_file: bool) -> Fil
             }
             search = col;
         }
+    }
+    if let Some(opened) = hot_since {
+        analysis.violations.push(Violation {
+            rule: RULE_HOT_LOOP_ALLOC.to_string(),
+            line: opened,
+            message: format!("`{HOT_LOOP_BEGIN}` marker is never closed with `{HOT_LOOP_END}`"),
+        });
     }
     analysis
 }
@@ -321,6 +363,47 @@ mod tests {
     fn wrapped_expect_message_on_next_line_passes() {
         let src = "fn f() {\n    a.expect(\n        \"a long invariant message\",\n    );\n}";
         assert!(analyze_source(src, false, false).violations.is_empty());
+    }
+
+    #[test]
+    fn hot_loop_region_bans_allocation() {
+        let src = "fn f() {\n\
+                   let a = Vec::new();\n\
+                   // xtask: hot-loop-begin\n\
+                   let b = vec![0; 4];\n\
+                   let c = Vec::new();\n\
+                   // xtask: hot-loop-end\n\
+                   let d = vec![1];\n\
+                   }";
+        let a = analyze_source(src, true, false);
+        assert_eq!(a.violations.len(), 2, "{:?}", a.violations);
+        assert!(a.violations.iter().all(|v| v.rule == RULE_HOT_LOOP_ALLOC));
+        assert_eq!(a.violations[0].line, 4);
+        assert_eq!(a.violations[1].line, 5);
+    }
+
+    #[test]
+    fn hot_loop_allow_comment_is_an_escape_hatch() {
+        let src = "// xtask: hot-loop-begin\n\
+                   // xtask: allow(hot-loop-alloc) — cold error path\n\
+                   let b = Vec::new();\n\
+                   // xtask: hot-loop-end";
+        assert!(analyze_source(src, true, false).violations.is_empty());
+    }
+
+    #[test]
+    fn hot_loop_rule_applies_outside_deterministic_crates_too() {
+        let src = "// xtask: hot-loop-begin\nlet b = String::new();\n// xtask: hot-loop-end";
+        assert_eq!(analyze_source(src, false, false).violations.len(), 1);
+    }
+
+    #[test]
+    fn unterminated_hot_loop_marker_is_flagged() {
+        let src = "fn f() {}\n// xtask: hot-loop-begin\nlet x = 1;";
+        let a = analyze_source(src, true, false);
+        assert_eq!(a.violations.len(), 1);
+        assert_eq!(a.violations[0].line, 2);
+        assert!(a.violations[0].message.contains("never closed"));
     }
 
     #[test]

@@ -15,8 +15,9 @@ use crate::rules::{analyze_source, PanicCounts, Violation};
 
 /// Short names of the crates whose output must be byte-identical for a
 /// given seed; the determinism rules apply only to these.
-pub const DETERMINISTIC_CRATES: &[&str] =
-    &["graph", "galois", "topology", "routing", "sim", "core"];
+pub const DETERMINISTIC_CRATES: &[&str] = &[
+    "graph", "galois", "parallel", "topology", "routing", "sim", "core",
+];
 
 /// File name of the committed panic-surface baseline, at the repo root.
 pub const RATCHET_FILE: &str = "xtask-ratchet.toml";

@@ -178,6 +178,25 @@ fn unmessaged_expect_fails() {
 }
 
 #[test]
+fn hot_loop_allocation_fails() {
+    let fx = Fixture::new("hotloop").with_sim_source(
+        "/// Doc.\npub fn f() -> Vec<u32> {\n    // xtask: hot-loop-begin\n    \
+         let v = Vec::new();\n    // xtask: hot-loop-end\n    v\n}\n",
+    );
+    assert_eq!(fx.rules_hit(zero()), vec!["hot-loop-alloc"]);
+}
+
+#[test]
+fn hot_loop_allow_comment_suppresses() {
+    let fx = Fixture::new("hotloop-allow").with_sim_source(
+        "/// Doc.\npub fn f() -> Vec<u32> {\n    // xtask: hot-loop-begin\n    \
+         // xtask: allow(hot-loop-alloc) — fixture demonstrating the escape hatch\n    \
+         let v = Vec::new();\n    // xtask: hot-loop-end\n    v\n}\n",
+    );
+    assert!(fx.lint_with_baseline(zero()).is_clean());
+}
+
+#[test]
 fn missing_lint_gates_fail() {
     let fx = Fixture::new("gates");
     // Overwrite the sim lib with one that lacks the header block.
