@@ -1,63 +1,8 @@
-//! Runs the three design-choice ablations DESIGN.md calls out:
-//! request-mode policy, flow-control provisioning, and RFC stage
-//! independence.
-
-use rfc_net::experiments::ablation;
-use rfc_net::sim::TrafficPattern;
-use rfc_net::topology::FoldedClos;
+//! Runs the design-choice ablations DESIGN.md calls out.
+//!
+//! Thin shim over the experiment registry; `rfcgen repro --only ablation`
+//! runs the same driver with provenance-stamped artifacts.
 
 fn main() {
-    let mut rng = rfc_bench::rng();
-    let (radix, n1) = match rfc_bench::scale() {
-        rfc_bench::Scale::Small => (8usize, 32usize),
-        _ => (12, 72),
-    };
-    let rfc =
-        rfc_net::scenarios::rfc_with_updown(radix, n1, 3, 50, &mut rng).expect("routable RFC");
-    let cfg = rfc_bench::sim_config();
-
-    ablation::request_mode(
-        &rfc,
-        cfg,
-        &[TrafficPattern::Uniform, TrafficPattern::RandomPairing],
-        rfc_bench::seed(),
-    )
-    .emit();
-
-    ablation::flow_control(&rfc, cfg, TrafficPattern::Uniform, rfc_bench::seed()).emit();
-
-    // Stage independence needs 4 levels for the middle stages to repeat,
-    // and a near-threshold size for the difference to show (far above
-    // the threshold both designs succeed trivially).
-    let samples = rfc_bench::trials(20);
-    let ablation_radix = 6;
-    let near_threshold_n1 =
-        rfc_net::theory::max_leaves_at_threshold(ablation_radix, 4).expect("feasible") & !1;
-    ablation::stage_independence(ablation_radix, near_threshold_n1, samples, &mut rng).emit();
-
-    // Valiant randomization: the paper's "RFCs don't need it" claim.
-    ablation::valiant(
-        &rfc,
-        cfg,
-        &[
-            TrafficPattern::Uniform,
-            TrafficPattern::RandomPairing,
-            TrafficPattern::Shuffle,
-        ],
-        rfc_bench::seed() + 3,
-    )
-    .emit();
-
-    // Spine taper sweep (XGFT extension).
-    ablation::taper(radix / 2, cfg, rfc_bench::seed() + 2).emit();
-
-    // Also contrast against the CFT under the paper's configuration.
-    let cft = FoldedClos::cft(radix, 3).expect("valid CFT");
-    ablation::request_mode(
-        &cft,
-        cfg,
-        &[TrafficPattern::RandomPairing],
-        rfc_bench::seed() + 1,
-    )
-    .emit();
+    rfc_bench::run_registry("ablation");
 }

@@ -1,14 +1,8 @@
-//! Regenerates the Section 4.2 bisection comparison: empirical
-//! terminal-balanced cuts bracketed against the analytic lower bounds,
-//! normalized as in the paper (CFT 1.00, 3-level RFC ≈ 0.86, 2-level
-//! RFC ≈ 0.80, RRN ≈ 0.88).
+//! Regenerates the Section 4.2 bisection comparison against the analytic bounds.
+//!
+//! Thin shim over the experiment registry; `rfcgen repro --only bisection`
+//! runs the same driver with provenance-stamped artifacts.
 
 fn main() {
-    let mut rng = rfc_bench::rng();
-    let (radix, n1, trials) = match rfc_bench::scale() {
-        rfc_bench::Scale::Small => (8, 24, 4),
-        rfc_bench::Scale::Medium => (12, 72, 6),
-        rfc_bench::Scale::Paper => (12, 120, 8),
-    };
-    rfc_net::experiments::bisection::report(radix, n1, rfc_bench::trials(trials), &mut rng).emit();
+    rfc_bench::run_registry("bisection");
 }

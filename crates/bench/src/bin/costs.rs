@@ -1,32 +1,8 @@
-//! Regenerates the Section 5 cost case studies (11K / 100K / 200K):
-//! switches, wires and the headline savings of the RFC over the CFT.
-
-use rfc_net::cost;
-use rfc_net::report::{pct, Report};
+//! Regenerates the Section 5 cost case studies (11K / 100K / 200K).
+//!
+//! Thin shim over the experiment registry; `rfcgen repro --only costs`
+//! runs the same driver with provenance-stamped artifacts.
 
 fn main() {
-    let mut rep = Report::new(
-        "section5-cost-cases",
-        &[
-            "case",
-            "cft_switches",
-            "cft_wires",
-            "rfc_switches",
-            "rfc_wires",
-            "switch_savings",
-            "wire_savings",
-        ],
-    );
-    for case in cost::paper_case_studies() {
-        rep.push_row(vec![
-            case.name.to_string(),
-            case.cft.switches.to_string(),
-            case.cft.switch_wires.to_string(),
-            case.rfc.switches.to_string(),
-            case.rfc.switch_wires.to_string(),
-            pct(case.switch_savings()),
-            pct(case.wire_savings()),
-        ]);
-    }
-    rep.emit();
+    rfc_bench::run_registry("costs");
 }

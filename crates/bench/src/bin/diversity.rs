@@ -1,13 +1,8 @@
-//! Regenerates the path-diversity comparison behind Section 7: minimal
-//! ECMP counts for CFT/RFC/OFT and near-minimal k-shortest-path counts
-//! for the RRN.
+//! Regenerates the Section 7 path-diversity comparison.
+//!
+//! Thin shim over the experiment registry; `rfcgen repro --only diversity`
+//! runs the same driver with provenance-stamped artifacts.
 
 fn main() {
-    let mut rng = rfc_bench::rng();
-    let (radix, pairs) = match rfc_bench::scale() {
-        rfc_bench::Scale::Small => (8, 60),
-        rfc_bench::Scale::Medium => (12, 120),
-        rfc_bench::Scale::Paper => (12, 200),
-    };
-    rfc_net::experiments::diversity::report(radix, rfc_bench::trials(pairs), &mut rng).emit();
+    rfc_bench::run_registry("diversity");
 }

@@ -1,22 +1,8 @@
-//! Regenerates Figure 10: the maximum-expansion scenario — the 3-level
-//! RFC at its Theorem 4.2 limit versus the 4-level CFT.
-
-use rfc_net::experiments::simfig;
-use rfc_net::sim::TrafficPattern;
+//! Regenerates Figure 10: the maximum-expansion scenario.
+//!
+//! Thin shim over the experiment registry; `rfcgen repro --only fig10`
+//! runs the same driver with provenance-stamped artifacts.
 
 fn main() {
-    let mut rng = rfc_bench::rng();
-    let scenario = rfc_net::scenarios::maximum_expansion(rfc_bench::scale(), &mut rng)
-        .expect("scenario construction");
-    rfc_bench::timed("fig10 sweep", || {
-        simfig::report(
-            &scenario,
-            &TrafficPattern::ALL,
-            &simfig::default_loads(),
-            rfc_bench::sim_config(),
-            rfc_bench::seed(),
-            &format!("fig10-maximum-{}", rfc_bench::scale()),
-        )
-    })
-    .emit();
+    rfc_bench::run_registry("fig10");
 }

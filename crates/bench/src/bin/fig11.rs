@@ -1,16 +1,8 @@
-//! Regenerates Figure 11: the fraction of broken links tolerated while
-//! up/down routing survives, at radix 12.
+//! Regenerates Figure 11: broken links tolerated while up/down routing survives.
+//!
+//! Thin shim over the experiment registry; `rfcgen repro --only fig11`
+//! runs the same driver with provenance-stamped artifacts.
 
 fn main() {
-    let mut rng = rfc_bench::rng();
-    let trials = rfc_bench::trials(match rfc_bench::scale() {
-        rfc_bench::Scale::Small => 5,
-        rfc_bench::Scale::Medium => 20,
-        rfc_bench::Scale::Paper => 100,
-    });
-    let levels: &[usize] = match rfc_bench::scale() {
-        rfc_bench::Scale::Small => &[2, 3],
-        _ => &[2, 3, 4],
-    };
-    rfc_net::experiments::fig11::report(12, levels, trials, &mut rng).emit();
+    rfc_bench::run_registry("fig11");
 }

@@ -1,28 +1,8 @@
-//! Regenerates Figure 12: simulated saturation throughput of the
-//! equal-resources CFT and RFC as links fail (cumulative random faults
-//! in ~1.3% steps, the paper's 300-of-23,328 schedule).
-
-use rfc_net::experiments::fig12;
-use rfc_net::sim::TrafficPattern;
+//! Regenerates Figure 12: simulated saturation throughput as links fail.
+//!
+//! Thin shim over the experiment registry; `rfcgen repro --only fig12`
+//! runs the same driver with provenance-stamped artifacts.
 
 fn main() {
-    let mut rng = rfc_bench::rng();
-    let scenario = rfc_net::scenarios::equal_resources(rfc_bench::scale(), &mut rng)
-        .expect("scenario construction");
-    let steps = match rfc_bench::scale() {
-        rfc_bench::Scale::Small => 6,
-        _ => 12,
-    };
-    rfc_bench::timed("fig12 fault sweep", || {
-        fig12::report(
-            &scenario,
-            &TrafficPattern::ALL,
-            steps,
-            0.013,
-            rfc_bench::sim_config(),
-            &mut rng,
-            &format!("fig12-faults-{}", rfc_bench::scale()),
-        )
-    })
-    .emit();
+    rfc_bench::run_registry("fig12");
 }

@@ -1,15 +1,8 @@
-//! Regenerates Figure 5: diameter of RFC/RRN/CFT/OFT versus network
-//! size at radix 36.
+//! Regenerates Figure 5: diameter of RFC/RRN/CFT/OFT versus network size.
+//!
+//! Thin shim over the experiment registry; `rfcgen repro --only fig5`
+//! runs the same driver with provenance-stamped artifacts.
 
 fn main() {
-    let radix = match rfc_bench::scale() {
-        rfc_bench::Scale::Small => 8,
-        rfc_bench::Scale::Medium => 12,
-        rfc_bench::Scale::Paper => 36,
-    };
-    rfc_net::experiments::fig5::report(radix, 8).emit();
-    // The paper's plot is radix 36 — always include it.
-    if radix != 36 {
-        rfc_net::experiments::fig5::report(36, 8).emit();
-    }
+    rfc_bench::run_registry("fig5");
 }

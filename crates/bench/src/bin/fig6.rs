@@ -1,7 +1,8 @@
-//! Regenerates Figure 6: scalability (compute nodes versus switch radix
-//! for 2-, 3- and 4-level networks).
+//! Regenerates Figure 6: scalability (compute nodes versus switch radix).
+//!
+//! Thin shim over the experiment registry; `rfcgen repro --only fig6`
+//! runs the same driver with provenance-stamped artifacts.
 
 fn main() {
-    let radices: Vec<usize> = (4..=64).step_by(4).collect();
-    rfc_net::experiments::fig6::report(&radices).emit();
+    rfc_bench::run_registry("fig6");
 }

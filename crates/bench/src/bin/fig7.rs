@@ -1,8 +1,8 @@
-//! Regenerates Figure 7: expandability — total system ports versus
-//! compute nodes at radix 36.
-
-use rfc_net::experiments::fig7;
+//! Regenerates Figure 7: expandability (system ports versus compute nodes).
+//!
+//! Thin shim over the experiment registry; `rfcgen repro --only fig7`
+//! runs the same driver with provenance-stamped artifacts.
 
 fn main() {
-    fig7::report(36, &fig7::default_grid()).emit();
+    rfc_bench::run_registry("fig7");
 }

@@ -1,23 +1,8 @@
-//! Regenerates Figure 8: latency and throughput of the equal-resources
-//! CFT and RFC (plus the reduced-radix RFC) under the three synthetic
-//! traffic patterns.
-
-use rfc_net::experiments::simfig;
-use rfc_net::sim::TrafficPattern;
+//! Regenerates Figure 8: latency/throughput of the equal-resources CFT and RFC.
+//!
+//! Thin shim over the experiment registry; `rfcgen repro --only fig8`
+//! runs the same driver with provenance-stamped artifacts.
 
 fn main() {
-    let mut rng = rfc_bench::rng();
-    let scenario = rfc_net::scenarios::equal_resources(rfc_bench::scale(), &mut rng)
-        .expect("scenario construction");
-    rfc_bench::timed("fig8 sweep", || {
-        simfig::report(
-            &scenario,
-            &TrafficPattern::ALL,
-            &simfig::default_loads(),
-            rfc_bench::sim_config(),
-            rfc_bench::seed(),
-            &format!("fig8-equal-resources-{}", rfc_bench::scale()),
-        )
-    })
-    .emit();
+    rfc_bench::run_registry("fig8");
 }

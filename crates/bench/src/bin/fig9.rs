@@ -1,22 +1,8 @@
-//! Regenerates Figure 9: the intermediate-expansion scenario — 3-level
-//! RFC versus partially populated 4-level CFT at equal terminal count.
-
-use rfc_net::experiments::simfig;
-use rfc_net::sim::TrafficPattern;
+//! Regenerates Figure 9: the intermediate-expansion scenario.
+//!
+//! Thin shim over the experiment registry; `rfcgen repro --only fig9`
+//! runs the same driver with provenance-stamped artifacts.
 
 fn main() {
-    let mut rng = rfc_bench::rng();
-    let scenario = rfc_net::scenarios::intermediate_expansion(rfc_bench::scale(), &mut rng)
-        .expect("scenario construction");
-    rfc_bench::timed("fig9 sweep", || {
-        simfig::report(
-            &scenario,
-            &TrafficPattern::ALL,
-            &simfig::default_loads(),
-            rfc_bench::sim_config(),
-            rfc_bench::seed(),
-            &format!("fig9-intermediate-{}", rfc_bench::scale()),
-        )
-    })
-    .emit();
+    rfc_bench::run_registry("fig9");
 }

@@ -1,18 +1,8 @@
-//! Regenerates Table 3: percentage of links removed (uniformly at
-//! random) to disconnect diameter-4 networks of T ≈ 512 … 8192.
-
-use rfc_net::experiments::table3;
+//! Regenerates Table 3: links removed at random to disconnect diameter-4 networks.
+//!
+//! Thin shim over the experiment registry; `rfcgen repro --only table3`
+//! runs the same driver with provenance-stamped artifacts.
 
 fn main() {
-    let mut rng = rfc_bench::rng();
-    let trials = rfc_bench::trials(match rfc_bench::scale() {
-        rfc_bench::Scale::Small => 10,
-        rfc_bench::Scale::Medium => 30,
-        rfc_bench::Scale::Paper => 100, // the paper averages 100 orders
-    });
-    let targets: &[usize] = match rfc_bench::scale() {
-        rfc_bench::Scale::Small => &[512, 1024, 2048],
-        _ => &table3::PAPER_TARGETS,
-    };
-    table3::report(targets, trials, &mut rng).emit();
+    rfc_bench::run_registry("table3");
 }

@@ -1,17 +1,8 @@
-//! Validates Theorem 4.2 empirically: the probability that a generated
-//! RFC has the up/down property, against the asymptotic e^(−e^(−x)) and
-//! the exact finite-size prediction.
-
-use rfc_net::experiments::threshold;
+//! Validates Theorem 4.2 empirically: up/down probability against the threshold.
+//!
+//! Thin shim over the experiment registry; `rfcgen repro --only threshold`
+//! runs the same driver with provenance-stamped artifacts.
 
 fn main() {
-    let mut rng = rfc_bench::rng();
-    let samples = rfc_bench::trials(match rfc_bench::scale() {
-        rfc_bench::Scale::Small => 30,
-        rfc_bench::Scale::Medium => 100,
-        rfc_bench::Scale::Paper => 300,
-    });
-    let xs = [-2.0, -1.0, 0.0, 1.0, 2.0];
-    threshold::report(&[128, 256, 512], 2, &xs, samples, &mut rng).emit();
-    threshold::report(&[64, 128], 3, &xs, samples, &mut rng).emit();
+    rfc_bench::run_registry("threshold");
 }

@@ -1,9 +1,11 @@
 //! Shared plumbing for the figure/table regeneration binaries.
 //!
-//! Every binary under `src/bin/` regenerates one table or figure of the
-//! paper (see `DESIGN.md` for the index) by calling the drivers in
-//! [`rfc_net::experiments`], printing the rows and mirroring a CSV under
-//! `target/experiments/`.
+//! Every binary under `src/bin/` is a thin shim over the experiment
+//! registry ([`rfc_net::experiments::registry`]): it names one
+//! experiment and [`run_registry`] resolves it, runs it with the
+//! environment-configured scale/seed/trials, prints the report tables
+//! and mirrors CSVs under `target/experiments/`. The registry is also
+//! what `rfcgen repro` drives, so both paths produce identical rows.
 //!
 //! Environment knobs shared by all binaries:
 //!
@@ -54,21 +56,44 @@ pub fn scale() -> Scale {
     Scale::from_env()
 }
 
-/// Simulation cycle counts per scale: quick at small scale, a trimmed
-/// window (3k warmup + 6k measured) at medium so a full figure sweep
-/// stays in the tens of minutes, and the paper's exact Table 2 window
-/// (5k + 10k) at paper scale.
+/// Simulation cycle counts per scale (see
+/// [`rfc_net::experiments::runner::sim_for_scale`], shared with
+/// `rfcgen repro`).
 pub fn sim_config() -> rfc_net::sim::SimConfig {
-    let mut cfg = rfc_net::sim::SimConfig::paper_defaults();
-    match scale() {
-        Scale::Small => cfg = rfc_net::sim::SimConfig::quick(),
-        Scale::Medium => {
-            cfg.warmup_cycles = 3_000;
-            cfg.measure_cycles = 6_000;
+    rfc_net::experiments::runner::sim_for_scale(scale())
+}
+
+/// Runs one registered experiment with the environment-configured
+/// scale, seed and trials, printing every report and mirroring CSVs
+/// under `target/experiments/` (the legacy bench-binary behavior).
+///
+/// Errors are reported on stderr and turn into a non-zero exit status
+/// instead of a panic, so a failing driver produces a diagnosable
+/// message rather than a backtrace.
+pub fn run_registry(name: &str) {
+    use rfc_net::experiments::{registry, ExperimentContext};
+
+    let Some(exp) = registry::find(name) else {
+        eprintln!("error: experiment `{name}` is not registered");
+        std::process::exit(2);
+    };
+    let mut ctx = ExperimentContext::new(scale(), seed(), sim_config());
+    ctx.set_trials(
+        std::env::var("RFC_TRIALS")
+            .ok()
+            .and_then(|s| s.parse().ok()),
+    );
+    match timed(name, || exp.run(&mut ctx)) {
+        Ok(reports) => {
+            for rep in &reports {
+                rep.emit();
+            }
         }
-        Scale::Paper => {}
+        Err(e) => {
+            eprintln!("error: experiment `{name}` failed: {e}");
+            std::process::exit(1);
+        }
     }
-    cfg
 }
 
 /// Runs `f` (typically one figure's sweep) and prints its wall-clock

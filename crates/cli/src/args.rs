@@ -18,6 +18,17 @@ impl Parsed {
     ///
     /// [`CliError::Usage`] on malformed input.
     pub fn parse(argv: &[String]) -> Result<Self, CliError> {
+        Self::parse_with_switches(argv, &[])
+    }
+
+    /// Like [`Parsed::parse`], but flags named in `switches` take no
+    /// value (`--force`); they are recorded as `"true"` and read back
+    /// with [`Parsed::switch`].
+    ///
+    /// # Errors
+    ///
+    /// [`CliError::Usage`] on malformed input.
+    pub fn parse_with_switches(argv: &[String], switches: &[&str]) -> Result<Self, CliError> {
         let mut flags = BTreeMap::new();
         let mut it = argv.iter();
         while let Some(token) = it.next() {
@@ -26,6 +37,10 @@ impl Parsed {
                     "unexpected positional argument `{token}`"
                 )));
             };
+            if switches.contains(&key) {
+                flags.insert(key.to_string(), "true".to_string());
+                continue;
+            }
             let Some(value) = it.next() else {
                 return Err(CliError::Usage(format!(
                     "flag --{key} is missing its value"
@@ -34,6 +49,12 @@ impl Parsed {
             flags.insert(key.to_string(), value.clone());
         }
         Ok(Self { flags })
+    }
+
+    /// True when a switch flag (see [`Parsed::parse_with_switches`]) was
+    /// present.
+    pub fn switch(&self, key: &str) -> bool {
+        self.flags.get(key).is_some_and(|v| v == "true")
     }
 
     /// Raw string flag.
@@ -100,6 +121,21 @@ mod tests {
     fn rejects_positionals_and_dangling_flags() {
         assert!(parse(&["stray"]).is_err());
         assert!(parse(&["--radix"]).is_err());
+    }
+
+    #[test]
+    fn switch_flags_take_no_value() {
+        let argv: Vec<String> = ["--force", "--only", "fig8,costs", "--list"]
+            .iter()
+            .map(|s| s.to_string())
+            .collect();
+        let p = Parsed::parse_with_switches(&argv, &["force", "list"]).unwrap();
+        assert!(p.switch("force"));
+        assert!(p.switch("list"));
+        assert!(!p.switch("missing"));
+        assert_eq!(p.str("only", ""), "fig8,costs");
+        // Without the switch declaration, `--force` would swallow `--only`.
+        assert!(Parsed::parse_with_switches(&argv, &["list"]).is_err());
     }
 
     #[test]

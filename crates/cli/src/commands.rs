@@ -449,3 +449,102 @@ pub fn threshold(parsed: &Parsed, out: &mut dyn Write) -> Result<(), CliError> {
     .map_err(io_err)?;
     Ok(())
 }
+
+/// `rfcgen repro`: run the registered evaluation experiments into a
+/// provenance-stamped run directory (see
+/// [`rfc_net::experiments::runner`]).
+///
+/// `--list` enumerates the registry; `--only a,b` subsets it; `--force`
+/// re-runs experiments whose artifacts already verify. Failures are
+/// reported per experiment and the remaining experiments still run; the
+/// command errors only after everything finished.
+///
+/// # Errors
+///
+/// [`CliError`] on bad flags, unknown experiment names, or when any
+/// experiment failed.
+pub fn repro(parsed: &Parsed, out: &mut dyn Write) -> Result<(), CliError> {
+    use rfc_net::experiments::registry;
+    use rfc_net::experiments::runner::{self, Outcome, RunOptions};
+    use rfc_net::scenarios::Scale;
+
+    if parsed.switch("list") {
+        writeln!(out, "{:<10}  {:<16}  description", "name", "paper").map_err(io_err)?;
+        for exp in registry::all() {
+            writeln!(
+                out,
+                "{:<10}  {:<16}  {}",
+                exp.name(),
+                exp.paper_anchor(),
+                exp.description()
+            )
+            .map_err(io_err)?;
+        }
+        return Ok(());
+    }
+
+    let scale = match parsed.opt_str("scale") {
+        None => Scale::from_env(),
+        Some("small") => Scale::Small,
+        Some("medium") => Scale::Medium,
+        Some("paper") => Scale::Paper,
+        Some(other) => {
+            return Err(CliError::Usage(format!(
+                "--scale: expected small|medium|paper, got `{other}`"
+            )))
+        }
+    };
+    let seed: u64 = match parsed.opt_num("seed")? {
+        Some(s) => s,
+        None => std::env::var("RFC_SEED")
+            .ok()
+            .and_then(|s| s.parse().ok())
+            .unwrap_or(2017),
+    };
+    let mut sim = runner::sim_for_scale(scale);
+    sim.measure_cycles = parsed.num("cycles", sim.measure_cycles)?;
+    sim.warmup_cycles = parsed.num("warmup", sim.warmup_cycles)?;
+
+    let mut opts = RunOptions::new(scale, seed, sim);
+    opts.trials = parsed.opt_num("trials")?;
+    opts.force = parsed.switch("force");
+    opts.only = parsed.opt_str("only").map(|raw| {
+        raw.split(',')
+            .map(|tok| tok.trim().to_string())
+            .filter(|tok| !tok.is_empty())
+            .collect()
+    });
+    if let Some(dir) = parsed.opt_str("out-dir") {
+        opts.root = dir.into();
+    }
+
+    let summary = runner::run(&opts).map_err(|e| CliError::Operation(e.to_string()))?;
+    let (mut ran, mut skipped) = (0usize, 0usize);
+    for (_, outcome) in &summary.outcomes {
+        match outcome {
+            Outcome::Ran => ran += 1,
+            Outcome::Skipped => skipped += 1,
+            Outcome::Failed(_) => {}
+        }
+    }
+    writeln!(
+        out,
+        "run {}: {} ran, {} skipped, {} failed -> {}",
+        summary.run_id,
+        ran,
+        skipped,
+        summary.failures().len(),
+        summary.run_dir.display()
+    )
+    .map_err(io_err)?;
+    let failures = summary.failures();
+    if failures.is_empty() {
+        Ok(())
+    } else {
+        Err(CliError::Operation(format!(
+            "{} experiment(s) failed: {}",
+            failures.len(),
+            failures.join(", ")
+        )))
+    }
+}

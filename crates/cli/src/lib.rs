@@ -61,7 +61,13 @@ pub fn run(argv: &[String], out: &mut dyn std::io::Write) -> Result<(), CliError
     let Some((command, rest)) = argv.split_first() else {
         return Err(CliError::Usage(USAGE.trim().to_string()));
     };
-    let parsed = args::Parsed::parse(rest)?;
+    // `repro` has valueless switch flags; everything else is strict
+    // `--key value` pairs.
+    let parsed = if command == "repro" {
+        args::Parsed::parse_with_switches(rest, &["list", "force"])?
+    } else {
+        args::Parsed::parse(rest)?
+    };
     // Common flag: worker threads for parallel stages (overrides the
     // RFC_THREADS environment variable; default: all cores).
     rfc_net::parallel::set_threads(parsed.opt_num::<usize>("threads")?);
@@ -72,6 +78,7 @@ pub fn run(argv: &[String], out: &mut dyn std::io::Write) -> Result<(), CliError
         "sweep" => commands::sweep(&parsed, out),
         "expand" => commands::expand(&parsed, out),
         "threshold" => commands::threshold(&parsed, out),
+        "repro" => commands::repro(&parsed, out),
         "help" | "--help" | "-h" => {
             writeln!(out, "{}", USAGE.trim()).map_err(io_err)?;
             Ok(())
@@ -100,6 +107,7 @@ COMMANDS:
     sweep       parallel load sweep: one simulator run per (traffic, load) point
     expand      grow an RFC incrementally and report rewiring
     threshold   Theorem 4.2 sizing for a radix/levels pair
+    repro       reproduce the paper's evaluation (registry of 14 experiments)
     help        show this text
 
 COMMON FLAGS:
@@ -132,6 +140,19 @@ SIMULATION FLAGS (simulate/sweep):
 
 EXPANSION FLAGS (expand):
     --steps     minimal upgrade steps               (default 1)
+
+REPRO FLAGS (repro):
+    --list      enumerate the registered experiments and exit
+    --only      comma-separated experiment names    (default: all 14)
+    --force     re-run experiments whose artifacts already verify
+    --scale     small | medium | paper              (default: RFC_SCALE, else medium)
+    --seed      run seed                            (default: RFC_SEED, else 2017)
+    --trials    Monte-Carlo trial override          (default: per experiment)
+    --cycles    measured cycles override            (default: per scale)
+    --warmup    warmup cycles override              (default: per scale)
+    --out-dir   artifact root                       (default target/experiments)
+                artifacts land in <out-dir>/<run-id>/ with a manifest.json;
+                reruns with identical parameters skip verified experiments
 "#;
 
 #[cfg(test)]
@@ -274,5 +295,31 @@ mod tests {
     fn bad_flag_value_is_a_usage_error() {
         let err = run_capture(&["generate", "--radix", "not-a-number"]).unwrap_err();
         assert!(matches!(err, CliError::Usage(_)));
+    }
+
+    #[test]
+    fn repro_list_enumerates_the_full_registry() {
+        let text = run_capture(&["repro", "--list"]).unwrap();
+        for exp in rfc_net::experiments::registry::all() {
+            assert!(
+                text.lines()
+                    .any(|l| l.split_whitespace().next() == Some(exp.name())),
+                "`repro --list` is missing experiment `{}`:\n{text}",
+                exp.name()
+            );
+        }
+        assert_eq!(
+            text.lines().filter(|l| !l.trim().is_empty()).count(),
+            rfc_net::experiments::registry::all().len() + 1,
+            "header plus one line per experiment expected:\n{text}"
+        );
+    }
+
+    #[test]
+    fn repro_rejects_bad_scale_and_unknown_experiment() {
+        let err = run_capture(&["repro", "--scale", "galactic"]).unwrap_err();
+        assert!(matches!(err, CliError::Usage(_)), "{err}");
+        let err = run_capture(&["repro", "--only", "fig99", "--scale", "small"]).unwrap_err();
+        assert!(err.to_string().contains("fig99"), "{err}");
     }
 }

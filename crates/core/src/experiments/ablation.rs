@@ -15,17 +15,24 @@ use rfc_routing::UpDownRouting;
 use rfc_sim::{RequestMode, SimConfig, SimNetwork, Simulation, TrafficPattern};
 use rfc_topology::{CloKind, FoldedClos};
 
-use crate::report::{f3, Report};
+use crate::report::{f3, Report, ReportError};
 
 /// Request-mode ablation: saturation throughput and mid-load latency of
 /// one network under both ECMP selection policies.
+///
+/// `routing` must route `clos` (callers share a cached table through
+/// [`crate::experiments::ExperimentContext`]).
+///
+/// # Errors
+///
+/// Propagates [`ReportError`] on a row/header mismatch (driver bug).
 pub fn request_mode(
     clos: &FoldedClos,
+    routing: &UpDownRouting,
     base: SimConfig,
     patterns: &[TrafficPattern],
     seed: u64,
-) -> Report {
-    let routing = UpDownRouting::new(clos);
+) -> Result<Report, ReportError> {
     let net = SimNetwork::from_folded_clos(clos);
     let mut rep = Report::new(
         "ablation-request-mode",
@@ -34,7 +41,7 @@ pub fn request_mode(
     for mode in [RequestMode::UpDownRandom, RequestMode::UpDownHash] {
         let mut cfg = base;
         cfg.request_mode = mode;
-        let sim = Simulation::new(&net, &routing, cfg);
+        let sim = Simulation::new(&net, routing, cfg);
         for &pattern in patterns {
             let sat = sim.max_throughput(pattern, seed);
             let mid = sim.run(pattern, 0.5, seed + 1);
@@ -43,20 +50,24 @@ pub fn request_mode(
                 pattern.to_string(),
                 f3(sat),
                 f3(mid.avg_latency),
-            ]);
+            ])?;
         }
     }
-    rep
+    Ok(rep)
 }
 
 /// Flow-control ablation: VC count × buffer depth grid around Table 2.
+///
+/// # Errors
+///
+/// Propagates [`ReportError`] on a row/header mismatch (driver bug).
 pub fn flow_control(
     clos: &FoldedClos,
+    routing: &UpDownRouting,
     base: SimConfig,
     pattern: TrafficPattern,
     seed: u64,
-) -> Report {
-    let routing = UpDownRouting::new(clos);
+) -> Result<Report, ReportError> {
     let net = SimNetwork::from_folded_clos(clos);
     let mut rep = Report::new(
         "ablation-flow-control",
@@ -72,7 +83,7 @@ pub fn flow_control(
             let mut cfg = base;
             cfg.virtual_channels = vcs;
             cfg.buffer_packets = buffers;
-            let sim = Simulation::new(&net, &routing, cfg);
+            let sim = Simulation::new(&net, routing, cfg);
             let sat = sim.max_throughput(pattern, seed);
             let mid = sim.run(pattern, 0.5, seed + 1);
             rep.push_row(vec![
@@ -80,10 +91,10 @@ pub fn flow_control(
                 buffers.to_string(),
                 f3(sat),
                 f3(mid.avg_latency),
-            ]);
+            ])?;
         }
     }
-    rep
+    Ok(rep)
 }
 
 /// Builds an RFC whose middle stages all reuse ONE random bipartite
@@ -115,12 +126,16 @@ pub fn correlated_stage_rfc<R: Rng + ?Sized>(
 /// Stage-independence ablation: up/down success rate over `samples`
 /// draws for independent vs correlated middle stages (4-level networks,
 /// where the middle stages actually repeat).
+///
+/// # Errors
+///
+/// Propagates [`ReportError`] on a row/header mismatch (driver bug).
 pub fn stage_independence<R: Rng + ?Sized>(
     radix: usize,
     n1: usize,
     samples: usize,
     rng: &mut R,
-) -> Report {
+) -> Result<Report, ReportError> {
     let levels = 4;
     let mut rep = Report::new(
         "ablation-stage-independence",
@@ -149,42 +164,50 @@ pub fn stage_independence<R: Rng + ?Sized>(
             },
             f3(ok as f64 / samples as f64),
             f3(frac / samples as f64),
-        ]);
+        ])?;
     }
-    rep
+    Ok(rep)
 }
 
 /// Valiant ablation: the paper argues RFCs route adversarial traffic at
 /// well above 50% *without* Valiant randomization (unlike dragonflies).
 /// This measures saturation with and without the Valiant bounce for
 /// each pattern: direct routing should win or tie everywhere on an RFC.
+///
+/// # Errors
+///
+/// Propagates [`ReportError`] on a row/header mismatch (driver bug).
 pub fn valiant(
     clos: &FoldedClos,
+    routing: &UpDownRouting,
     base: SimConfig,
     patterns: &[TrafficPattern],
     seed: u64,
-) -> Report {
-    let routing = UpDownRouting::new(clos);
+) -> Result<Report, ReportError> {
     let net = SimNetwork::from_folded_clos(clos);
     let mut rep = Report::new(
         "ablation-valiant",
         &["traffic", "direct_saturation", "valiant_saturation"],
     );
     for &pattern in patterns {
-        let direct = Simulation::new(&net, &routing, base).max_throughput(pattern, seed);
+        let direct = Simulation::new(&net, routing, base).max_throughput(pattern, seed);
         let mut vcfg = base;
         vcfg.valiant_routing = true;
-        let bounced = Simulation::new(&net, &routing, vcfg).max_throughput(pattern, seed);
-        rep.push_row(vec![pattern.to_string(), f3(direct), f3(bounced)]);
+        let bounced = Simulation::new(&net, routing, vcfg).max_throughput(pattern, seed);
+        rep.push_row(vec![pattern.to_string(), f3(direct), f3(bounced)])?;
     }
-    rep
+    Ok(rep)
 }
 
 /// Taper ablation (XGFT extension): saturation throughput of a
 /// three-level fat-tree as the spine is thinned from fully provisioned
 /// (`w = k`) to 4:1 oversubscribed — the standard datacenter cost knob
 /// the RFC's linear expandability competes against.
-pub fn taper(k: usize, base: SimConfig, seed: u64) -> Report {
+///
+/// # Errors
+///
+/// Propagates [`ReportError`] on a row/header mismatch (driver bug).
+pub fn taper(k: usize, base: SimConfig, seed: u64) -> Result<Report, ReportError> {
     let mut rep = Report::new(
         "ablation-taper",
         &[
@@ -208,10 +231,10 @@ pub fn taper(k: usize, base: SimConfig, seed: u64) -> Report {
             clos.num_switches().to_string(),
             clos.num_links().to_string(),
             f3(sat),
-        ]);
+        ])?;
         w /= 2;
     }
-    rep
+    Ok(rep)
 }
 
 #[cfg(test)]
@@ -223,7 +246,15 @@ mod tests {
     #[test]
     fn request_mode_report_has_both_modes() {
         let clos = FoldedClos::cft(6, 2).unwrap();
-        let rep = request_mode(&clos, SimConfig::quick(), &[TrafficPattern::Uniform], 1);
+        let routing = UpDownRouting::new(&clos);
+        let rep = request_mode(
+            &clos,
+            &routing,
+            SimConfig::quick(),
+            &[TrafficPattern::Uniform],
+            1,
+        )
+        .unwrap();
         assert_eq!(rep.rows.len(), 2);
         assert!(rep.to_text().contains("UpDownHash"));
     }
@@ -231,7 +262,15 @@ mod tests {
     #[test]
     fn flow_control_grid_is_complete() {
         let clos = FoldedClos::cft(4, 2).unwrap();
-        let rep = flow_control(&clos, SimConfig::quick(), TrafficPattern::Uniform, 2);
+        let routing = UpDownRouting::new(&clos);
+        let rep = flow_control(
+            &clos,
+            &routing,
+            SimConfig::quick(),
+            TrafficPattern::Uniform,
+            2,
+        )
+        .unwrap();
         assert_eq!(rep.rows.len(), 8);
     }
 
@@ -249,7 +288,7 @@ mod tests {
     fn taper_halves_saturation_per_step() {
         let mut cfg = SimConfig::quick();
         cfg.measure_cycles = 2_000;
-        let rep = taper(4, cfg, 5);
+        let rep = taper(4, cfg, 5).unwrap();
         assert_eq!(rep.rows.len(), 3, "w = 4, 2, 1");
         let sat = |i: usize| rep.rows[i][4].parse::<f64>().unwrap();
         // Fully provisioned accepts most of the load; 4:1 taper caps
@@ -266,7 +305,7 @@ mod tests {
         // pair connectivity cannot exceed the independent design's by a
         // margin.
         let mut rng = StdRng::seed_from_u64(4);
-        let rep = stage_independence(6, 36, 12, &mut rng);
+        let rep = stage_independence(6, 36, 12, &mut rng).unwrap();
         let parse = |row: &Vec<String>| row[2].parse::<f64>().unwrap();
         let independent = parse(&rep.rows[0]);
         let correlated = parse(&rep.rows[1]);

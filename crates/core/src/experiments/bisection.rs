@@ -17,7 +17,7 @@ use rfc_graph::Csr;
 use rfc_topology::{FoldedClos, Network, Rrn};
 
 use crate::parallel;
-use crate::report::{f3, Report};
+use crate::report::{f3, Report, ReportError};
 use crate::theory;
 
 /// One network's bisection bracket.
@@ -187,7 +187,12 @@ fn folded_point<R: Rng + ?Sized>(
 }
 
 /// Renders the bracket table.
-pub fn report<R: Rng + ?Sized>(radix: usize, n1: usize, trials: usize, rng: &mut R) -> Report {
+pub fn report<R: Rng + ?Sized>(
+    radix: usize,
+    n1: usize,
+    trials: usize,
+    rng: &mut R,
+) -> Result<Report, ReportError> {
     let mut rep = Report::new(
         format!("section42-bisection-R{radix}"),
         &[
@@ -205,9 +210,9 @@ pub fn report<R: Rng + ?Sized>(radix: usize, n1: usize, trials: usize, rng: &mut
             p.empirical_cut.to_string(),
             p.lower_bound.map_or_else(|| "-".into(), f3),
             f3(p.normalized),
-        ]);
+        ])?;
     }
-    rep
+    Ok(rep)
 }
 
 #[cfg(test)]
@@ -262,7 +267,7 @@ mod tests {
     #[test]
     fn report_renders() {
         let mut rng = StdRng::seed_from_u64(44);
-        let rep = report(8, 16, 2, &mut rng);
+        let rep = report(8, 16, 2, &mut rng).unwrap();
         assert_eq!(rep.rows.len(), 4);
     }
 }

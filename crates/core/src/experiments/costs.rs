@@ -1,0 +1,52 @@
+//! Section 5 cost case studies (11K / 100K / 200K): switches, wires and
+//! the headline savings of the RFC over the CFT.
+//!
+//! Pure arithmetic over [`crate::cost::paper_case_studies`] — no
+//! randomness, so the table is identical at every scale and seed.
+
+use crate::cost;
+use crate::report::{pct, Report, ReportError};
+
+/// Renders the three case studies.
+///
+/// # Errors
+///
+/// Propagates [`ReportError`] on a row/header mismatch (driver bug).
+pub fn report() -> Result<Report, ReportError> {
+    let mut rep = Report::new(
+        "section5-cost-cases",
+        &[
+            "case",
+            "cft_switches",
+            "cft_wires",
+            "rfc_switches",
+            "rfc_wires",
+            "switch_savings",
+            "wire_savings",
+        ],
+    );
+    for case in cost::paper_case_studies() {
+        rep.push_row(vec![
+            case.name.to_string(),
+            case.cft.switches.to_string(),
+            case.cft.switch_wires.to_string(),
+            case.rfc.switches.to_string(),
+            case.rfc.switch_wires.to_string(),
+            pct(case.switch_savings()),
+            pct(case.wire_savings()),
+        ])?;
+    }
+    Ok(rep)
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn three_cases_with_positive_savings() {
+        let rep = super::report().unwrap();
+        assert_eq!(rep.rows.len(), 3);
+        for row in &rep.rows {
+            assert!(row[5].ends_with('%'), "switch savings column: {:?}", row);
+        }
+    }
+}

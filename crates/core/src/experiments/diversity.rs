@@ -11,7 +11,7 @@ use rand::Rng;
 use rfc_routing::{ksp, UpDownRouting};
 use rfc_topology::{FoldedClos, Network, Rrn};
 
-use crate::report::{f3, Report};
+use crate::report::{f3, Report, ReportError};
 
 /// Path-diversity statistics for one network.
 #[derive(Debug, Clone, PartialEq)]
@@ -100,7 +100,11 @@ pub fn rrn_diversity<R: Rng + ?Sized>(rrn: &Rrn, pairs: usize, rng: &mut R) -> D
 }
 
 /// Renders the comparison at one radix class.
-pub fn report<R: Rng + ?Sized>(radix: usize, pairs: usize, rng: &mut R) -> Report {
+pub fn report<R: Rng + ?Sized>(
+    radix: usize,
+    pairs: usize,
+    rng: &mut R,
+) -> Result<Report, ReportError> {
     let mut rep = Report::new(
         format!("section7-path-diversity-R{radix}"),
         &[
@@ -111,24 +115,24 @@ pub fn report<R: Rng + ?Sized>(radix: usize, pairs: usize, rng: &mut R) -> Repor
             "mean_distance",
         ],
     );
-    let mut push = |p: DiversityPoint| {
+    let push = |rep: &mut Report, p: DiversityPoint| {
         rep.push_row(vec![
             p.network,
             p.terminals.to_string(),
             p.min_paths.to_string(),
             f3(p.mean_paths),
             f3(p.mean_distance),
-        ]);
+        ])
     };
     let cft = FoldedClos::cft(radix, 3).expect("valid CFT");
-    push(folded_diversity(&cft, pairs, rng));
+    push(&mut rep, folded_diversity(&cft, pairs, rng))?;
     let n1 = cft.num_leaves();
     let rfc = FoldedClos::random(radix, n1, 3, rng).expect("feasible RFC");
-    push(folded_diversity(&rfc, pairs, rng));
+    push(&mut rep, folded_diversity(&rfc, pairs, rng))?;
     let q = radix / 2 - 1;
     if rfc_galois::is_prime_power(q as u32) {
         let oft = FoldedClos::oft(q as u32, 2).expect("valid OFT");
-        push(folded_diversity(&oft, pairs, rng));
+        push(&mut rep, folded_diversity(&oft, pairs, rng))?;
     }
     let (delta, hosts) = crate::experiments::fig5::rrn_split(radix);
     let mut n = cft.num_terminals() / hosts;
@@ -136,8 +140,8 @@ pub fn report<R: Rng + ?Sized>(radix: usize, pairs: usize, rng: &mut R) -> Repor
         n += 1;
     }
     let rrn = Rrn::new(n, delta, hosts, rng).expect("feasible RRN");
-    push(rrn_diversity(&rrn, pairs.min(40), rng));
-    rep
+    push(&mut rep, rrn_diversity(&rrn, pairs.min(40), rng))?;
+    Ok(rep)
 }
 
 #[cfg(test)]
@@ -170,7 +174,7 @@ mod tests {
     #[test]
     fn report_covers_all_four_families() {
         let mut rng = StdRng::seed_from_u64(9);
-        let rep = report(8, 20, &mut rng);
+        let rep = report(8, 20, &mut rng).unwrap();
         assert_eq!(rep.rows.len(), 4);
     }
 }

@@ -13,7 +13,7 @@ use rfc_routing::fault::updown_tolerance_trial;
 use rfc_topology::FoldedClos;
 
 use crate::parallel;
-use crate::report::{pct, Report};
+use crate::report::{pct, Report, ReportError};
 use crate::scenarios::rfc_with_updown;
 use crate::theory;
 
@@ -113,7 +113,7 @@ pub fn report<R: Rng + ?Sized>(
     levels: &[usize],
     trials: usize,
     rng: &mut R,
-) -> Report {
+) -> Result<Report, ReportError> {
     let mut rep = Report::new(
         format!("fig11-updown-tolerance-R{radix}"),
         &["topology", "levels", "terminals", "tolerated_links"],
@@ -124,9 +124,9 @@ pub fn report<R: Rng + ?Sized>(
             p.levels.to_string(),
             p.terminals.to_string(),
             pct(p.tolerance),
-        ]);
+        ])?;
     }
-    rep
+    Ok(rep)
 }
 
 #[cfg(test)]
@@ -174,7 +174,7 @@ mod tests {
     #[test]
     fn report_contains_percent_column() {
         let mut rng = StdRng::seed_from_u64(13);
-        let rep = report(8, &[2], 2, &mut rng);
+        let rep = report(8, &[2], 2, &mut rng).unwrap();
         assert!(rep.to_text().contains('%'));
     }
 }

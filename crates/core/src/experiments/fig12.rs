@@ -13,7 +13,7 @@ use rfc_routing::UpDownRouting;
 use rfc_sim::{RunScratch, SimConfig, SimNetwork, Simulation, TrafficPattern};
 
 use crate::parallel;
-use crate::report::{f3, Report};
+use crate::report::{f3, Report, ReportError};
 use crate::scenarios::Scenario;
 
 /// One measured point.
@@ -88,6 +88,10 @@ pub fn run<R: Rng + ?Sized>(
 }
 
 /// Renders the figure.
+///
+/// # Errors
+///
+/// Propagates [`ReportError`] on a row/header mismatch (driver bug).
 #[allow(clippy::too_many_arguments)]
 pub fn report<R: Rng + ?Sized>(
     scenario: &Scenario,
@@ -97,7 +101,7 @@ pub fn report<R: Rng + ?Sized>(
     config: SimConfig,
     rng: &mut R,
     title: &str,
-) -> Report {
+) -> Result<Report, ReportError> {
     let mut rep = Report::new(
         title,
         &[
@@ -117,9 +121,9 @@ pub fn report<R: Rng + ?Sized>(
             f3(p.fault_fraction),
             f3(p.throughput),
             p.updown_intact.to_string(),
-        ]);
+        ])?;
     }
-    rep
+    Ok(rep)
 }
 
 #[cfg(test)]

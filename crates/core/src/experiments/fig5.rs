@@ -7,7 +7,7 @@
 //! `Δ^D ≈ 2 N ln N` (with the paper's Δ = 26 / 10-hosts split at
 //! radix 36).
 
-use crate::report::Report;
+use crate::report::{Report, ReportError};
 use crate::{cost, theory};
 
 /// One step of a topology's diameter curve.
@@ -110,7 +110,7 @@ fn largest_prime_power_at_most(limit: usize) -> Option<usize> {
 }
 
 /// Renders the figure as a report.
-pub fn report(radix: usize, max_diameter: u32) -> Report {
+pub fn report(radix: usize, max_diameter: u32) -> Result<Report, ReportError> {
     let mut rep = Report::new(
         format!("fig5-diameter-R{radix}"),
         &["topology", "diameter", "max_switches", "max_terminals"],
@@ -121,9 +121,9 @@ pub fn report(radix: usize, max_diameter: u32) -> Report {
             s.diameter.to_string(),
             format!("{:.0}", s.switches),
             format!("{:.0}", s.terminals),
-        ]);
+        ])?;
     }
-    rep
+    Ok(rep)
 }
 
 #[cfg(test)]
@@ -159,7 +159,7 @@ mod tests {
 
     #[test]
     fn report_has_all_topologies() {
-        let rep = report(36, 4);
+        let rep = report(36, 4).unwrap();
         let text = rep.to_text();
         for t in ["cft", "rfc", "oft", "rrn"] {
             assert!(text.contains(t), "missing {t}");

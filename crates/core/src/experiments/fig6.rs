@@ -7,7 +7,7 @@
 //! (`D = 2(l−1)`) and the paper's degree/host split.
 
 use crate::experiments::fig5::rrn_split;
-use crate::report::Report;
+use crate::report::{Report, ReportError};
 use crate::theory;
 
 /// Levels plotted by the paper.
@@ -58,7 +58,7 @@ pub fn row(radix: usize) -> ScalabilityRow {
 }
 
 /// Renders the figure over a list of radices.
-pub fn report(radices: &[usize]) -> Report {
+pub fn report(radices: &[usize]) -> Result<Report, ReportError> {
     let mut header: Vec<String> = vec!["radix".into()];
     for topo in ["cft", "rfc", "oft", "rrn"] {
         for l in LEVELS {
@@ -75,9 +75,9 @@ pub fn report(radices: &[usize]) -> Report {
         cells.extend(row.rfc.iter().copied().map(opt));
         cells.extend(row.oft.iter().copied().map(opt));
         cells.extend(row.rrn.iter().copied().map(opt));
-        rep.push_row(cells);
+        rep.push_row(cells)?;
     }
-    rep
+    Ok(rep)
 }
 
 #[cfg(test)]
@@ -132,7 +132,7 @@ mod tests {
     fn report_marks_missing_oft_orders() {
         // radix 26 -> q = 12 is not a prime power, but q for radix 28
         // (13) is.
-        let rep = report(&[26, 28]);
+        let rep = report(&[26, 28]).unwrap();
         let text = rep.to_text();
         assert!(text
             .lines()

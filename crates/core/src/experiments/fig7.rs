@@ -7,7 +7,7 @@
 //! the Theorem 4.2 threshold forces an extra level.
 
 use crate::experiments::fig5::rrn_split;
-use crate::report::Report;
+use crate::report::{Report, ReportError};
 use crate::{cost, theory};
 
 /// Port cost of each topology at one terminal count; `None` when the
@@ -70,7 +70,7 @@ pub fn point(radix: usize, terminals: usize) -> ExpandabilityPoint {
 }
 
 /// Renders the curves over a terminal grid.
-pub fn report(radix: usize, terminal_grid: &[usize]) -> Report {
+pub fn report(radix: usize, terminal_grid: &[usize]) -> Result<Report, ReportError> {
     let mut rep = Report::new(
         format!("fig7-expandability-R{radix}"),
         &[
@@ -90,9 +90,9 @@ pub fn report(radix: usize, terminal_grid: &[usize]) -> Report {
             p.rrn_ports.to_string(),
             opt(p.cft_ports),
             opt(p.oft_ports),
-        ]);
+        ])?;
     }
-    rep
+    Ok(rep)
 }
 
 /// A default log-ish grid from 1K to 200K terminals.
@@ -157,7 +157,7 @@ mod tests {
 
     #[test]
     fn report_covers_grid() {
-        let rep = report(36, &[1_000, 10_000, 100_000]);
+        let rep = report(36, &[1_000, 10_000, 100_000]).unwrap();
         assert_eq!(rep.rows.len(), 3);
         assert!(!default_grid().is_empty());
     }

@@ -1,13 +1,17 @@
 //! Drivers regenerating every table and figure of the paper's
-//! evaluation.
+//! evaluation, unified behind the [`registry`].
 //!
 //! Each submodule exposes a `report(...)` returning a
-//! [`crate::report::Report`] with the same rows/series the paper plots;
-//! the `rfc-bench` binaries print them and mirror CSVs under
-//! `target/experiments/`.
+//! [`crate::report::Report`] with the same rows/series the paper plots.
+//! The [`registry`] wraps every driver as an [`Experiment`] with its
+//! per-scale parameters resolved; [`runner`] executes a selection into
+//! provenance-stamped artifacts under `target/experiments/<run-id>/`
+//! (the engine behind `rfcgen repro`); [`context`] carries the run
+//! parameters and the shared scenario/routing cache.
 //!
 //! | module | reproduces |
 //! |--------|------------|
+//! | [`costs`] | Section 5 — cost case studies (11K/100K/200K) |
 //! | [`fig5`] | Figure 5 — diameter vs size at radix 36 |
 //! | [`fig6`] | Figure 6 — scalability (terminals vs radix, levels 2–4) |
 //! | [`fig7`] | Figure 7 — expandability (ports vs terminals) |
@@ -17,16 +21,24 @@
 //! | [`fig12`] | Figure 12 — throughput under faults |
 //! | [`threshold`] | Theorem 4.2 — empirical up/down probability vs e^(−e^(−x)) |
 //! | [`bisection`] | Section 4.2 — empirical bisection bracket vs the analytic bounds |
+//! | [`diversity`] | Section 7 — minimal-path diversity across the four families |
 //! | [`ablation`] | design-choice ablations (request mode, VCs/buffers, stage independence) |
 
 pub mod ablation;
 pub mod bisection;
+pub mod context;
+pub mod costs;
 pub mod diversity;
 pub mod fig11;
 pub mod fig12;
 pub mod fig5;
 pub mod fig6;
 pub mod fig7;
+pub mod registry;
+pub mod runner;
 pub mod simfig;
 pub mod table3;
 pub mod threshold;
+
+pub use context::{CacheStats, ExperimentContext, ExperimentError, ScenarioKind};
+pub use registry::Experiment;

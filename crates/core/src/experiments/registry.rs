@@ -1,0 +1,438 @@
+//! The experiment registry: every table and figure of the paper's
+//! evaluation behind one uniform [`Experiment`] interface.
+//!
+//! Each entry wraps one of the `report(...)` drivers in this module
+//! tree, resolves its per-scale parameters (the numbers the old bench
+//! binaries hard-coded), and pulls shared objects from the
+//! [`ExperimentContext`] cache instead of rebuilding them — fig8, fig12
+//! and the ablations all draw on the same equal-resources scenario /
+//! RFC instance.
+//!
+//! Randomized experiments draw from [`ExperimentContext::rng_for`]
+//! streams named after the experiment, so each entry's output depends
+//! only on `(scale, seed, trials)` — never on which other experiments
+//! ran first or on `--only` subsetting.
+
+use rfc_sim::TrafficPattern;
+use rfc_topology::FoldedClos;
+
+use rfc_routing::UpDownRouting;
+
+use crate::report::Report;
+use crate::scenarios::Scale;
+use crate::theory;
+
+use super::context::{ExperimentContext, ExperimentError, ScenarioKind};
+use super::{
+    ablation, bisection, costs, diversity, fig11, fig12, fig5, fig6, fig7, simfig, table3,
+    threshold,
+};
+
+/// One reproducible unit of the paper's evaluation.
+pub trait Experiment {
+    /// Stable registry name (`costs`, `fig5`, …, `ablation`) — the token
+    /// accepted by `rfcgen repro --only` and the artifact directory
+    /// name.
+    fn name(&self) -> &'static str;
+    /// One-line summary of what is reproduced.
+    fn description(&self) -> &'static str;
+    /// Where in the paper the result appears ("Figure 8", "Table 3", …).
+    fn paper_anchor(&self) -> &'static str;
+    /// Produces the experiment's reports using (and populating) the
+    /// shared context.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ExperimentError`] on construction or report failures;
+    /// the runner records the failure and continues with the next
+    /// experiment.
+    fn run(&self, ctx: &mut ExperimentContext) -> Result<Vec<Report>, ExperimentError>;
+}
+
+/// A registry row: static metadata plus the driver function.
+struct Entry {
+    name: &'static str,
+    description: &'static str,
+    paper_anchor: &'static str,
+    run: fn(&mut ExperimentContext) -> Result<Vec<Report>, ExperimentError>,
+}
+
+impl Experiment for Entry {
+    fn name(&self) -> &'static str {
+        self.name
+    }
+
+    fn description(&self) -> &'static str {
+        self.description
+    }
+
+    fn paper_anchor(&self) -> &'static str {
+        self.paper_anchor
+    }
+
+    fn run(&self, ctx: &mut ExperimentContext) -> Result<Vec<Report>, ExperimentError> {
+        (self.run)(ctx)
+    }
+}
+
+fn run_costs(_ctx: &mut ExperimentContext) -> Result<Vec<Report>, ExperimentError> {
+    Ok(vec![costs::report()?])
+}
+
+fn run_fig5(ctx: &mut ExperimentContext) -> Result<Vec<Report>, ExperimentError> {
+    let radix = ctx.scale().radix();
+    let mut reps = vec![fig5::report(radix, 8)?];
+    // The paper's plot is radix 36 — always include it.
+    if radix != 36 {
+        reps.push(fig5::report(36, 8)?);
+    }
+    Ok(reps)
+}
+
+fn run_fig6(_ctx: &mut ExperimentContext) -> Result<Vec<Report>, ExperimentError> {
+    let radices: Vec<usize> = (4..=64).step_by(4).collect();
+    Ok(vec![fig6::report(&radices)?])
+}
+
+fn run_fig7(_ctx: &mut ExperimentContext) -> Result<Vec<Report>, ExperimentError> {
+    Ok(vec![fig7::report(36, &fig7::default_grid())?])
+}
+
+fn run_table3(ctx: &mut ExperimentContext) -> Result<Vec<Report>, ExperimentError> {
+    let trials = ctx.trials_or(match ctx.scale() {
+        Scale::Small => 10,
+        Scale::Medium => 30,
+        Scale::Paper => 100, // the paper averages 100 orders
+    });
+    let targets: &[usize] = match ctx.scale() {
+        Scale::Small => &[512, 1024, 2048],
+        _ => &table3::PAPER_TARGETS,
+    };
+    let mut rng = ctx.rng_for("table3");
+    Ok(vec![table3::report(targets, trials, &mut rng)?])
+}
+
+fn run_threshold(ctx: &mut ExperimentContext) -> Result<Vec<Report>, ExperimentError> {
+    let samples = ctx.trials_or(match ctx.scale() {
+        Scale::Small => 30,
+        Scale::Medium => 100,
+        Scale::Paper => 300,
+    });
+    let xs = [-2.0, -1.0, 0.0, 1.0, 2.0];
+    let mut rng2 = ctx.rng_for("threshold-l2");
+    let mut rng3 = ctx.rng_for("threshold-l3");
+    Ok(vec![
+        threshold::report(&[128, 256, 512], 2, &xs, samples, &mut rng2)?,
+        threshold::report(&[64, 128], 3, &xs, samples, &mut rng3)?,
+    ])
+}
+
+fn run_simfig(
+    ctx: &mut ExperimentContext,
+    kind: ScenarioKind,
+    title_stem: &str,
+) -> Result<Vec<Report>, ExperimentError> {
+    let prepared = ctx.scenario(kind)?;
+    Ok(vec![simfig::report(
+        &prepared,
+        &TrafficPattern::ALL,
+        &simfig::default_loads(),
+        ctx.sim_config(),
+        ctx.seed(),
+        &format!("{title_stem}-{}", ctx.scale()),
+    )?])
+}
+
+fn run_fig8(ctx: &mut ExperimentContext) -> Result<Vec<Report>, ExperimentError> {
+    run_simfig(ctx, ScenarioKind::EqualResources, "fig8-equal-resources")
+}
+
+fn run_fig9(ctx: &mut ExperimentContext) -> Result<Vec<Report>, ExperimentError> {
+    run_simfig(
+        ctx,
+        ScenarioKind::IntermediateExpansion,
+        "fig9-intermediate",
+    )
+}
+
+fn run_fig10(ctx: &mut ExperimentContext) -> Result<Vec<Report>, ExperimentError> {
+    run_simfig(ctx, ScenarioKind::MaximumExpansion, "fig10-maximum")
+}
+
+fn run_fig11(ctx: &mut ExperimentContext) -> Result<Vec<Report>, ExperimentError> {
+    let trials = ctx.trials_or(match ctx.scale() {
+        Scale::Small => 5,
+        Scale::Medium => 20,
+        Scale::Paper => 100,
+    });
+    let levels: &[usize] = match ctx.scale() {
+        Scale::Small => &[2, 3],
+        _ => &[2, 3, 4],
+    };
+    let mut rng = ctx.rng_for("fig11");
+    Ok(vec![fig11::report(12, levels, trials, &mut rng)?])
+}
+
+fn run_fig12(ctx: &mut ExperimentContext) -> Result<Vec<Report>, ExperimentError> {
+    let prepared = ctx.scenario(ScenarioKind::EqualResources)?;
+    let steps = match ctx.scale() {
+        Scale::Small => 6,
+        _ => 12,
+    };
+    let mut rng = ctx.rng_for("fig12");
+    Ok(vec![fig12::report(
+        &prepared.scenario,
+        &TrafficPattern::ALL,
+        steps,
+        0.013,
+        ctx.sim_config(),
+        &mut rng,
+        &format!("fig12-faults-{}", ctx.scale()),
+    )?])
+}
+
+fn run_bisection(ctx: &mut ExperimentContext) -> Result<Vec<Report>, ExperimentError> {
+    let (radix, n1, trials) = match ctx.scale() {
+        Scale::Small => (8, 24, 4),
+        Scale::Medium => (12, 72, 6),
+        Scale::Paper => (12, 120, 8),
+    };
+    let trials = ctx.trials_or(trials);
+    let mut rng = ctx.rng_for("bisection");
+    Ok(vec![bisection::report(radix, n1, trials, &mut rng)?])
+}
+
+fn run_diversity(ctx: &mut ExperimentContext) -> Result<Vec<Report>, ExperimentError> {
+    let (radix, pairs) = match ctx.scale() {
+        Scale::Small => (8, 60),
+        Scale::Medium => (12, 120),
+        Scale::Paper => (12, 200),
+    };
+    let pairs = ctx.trials_or(pairs);
+    let mut rng = ctx.rng_for("diversity");
+    Ok(vec![diversity::report(radix, pairs, &mut rng)?])
+}
+
+fn run_ablation(ctx: &mut ExperimentContext) -> Result<Vec<Report>, ExperimentError> {
+    let (radix, n1) = match ctx.scale() {
+        Scale::Small => (8usize, 32usize),
+        _ => (12, 72),
+    };
+    let cfg = ctx.sim_config();
+    let seed = ctx.seed();
+    let samples = ctx.trials_or(20);
+    let rfc = ctx.rfc_with_routing(radix, n1, 3)?;
+    let (clos, routing) = (&rfc.0, &rfc.1);
+
+    let mut reps = vec![
+        ablation::request_mode(
+            clos,
+            routing,
+            cfg,
+            &[TrafficPattern::Uniform, TrafficPattern::RandomPairing],
+            seed,
+        )?,
+        ablation::flow_control(clos, routing, cfg, TrafficPattern::Uniform, seed)?,
+    ];
+
+    // Stage independence needs 4 levels for the middle stages to repeat,
+    // and a near-threshold size for the difference to show (far above
+    // the threshold both designs succeed trivially).
+    let ablation_radix = 6;
+    let near_threshold_n1 =
+        theory::max_leaves_at_threshold(ablation_radix, 4).ok_or_else(|| {
+            ExperimentError::Config(format!(
+                "radix {ablation_radix} has no 4-level threshold size"
+            ))
+        })? & !1;
+    let mut rng = ctx.rng_for("ablation-stages");
+    reps.push(ablation::stage_independence(
+        ablation_radix,
+        near_threshold_n1,
+        samples,
+        &mut rng,
+    )?);
+
+    // Valiant randomization: the paper's "RFCs don't need it" claim.
+    reps.push(ablation::valiant(
+        clos,
+        routing,
+        cfg,
+        &[
+            TrafficPattern::Uniform,
+            TrafficPattern::RandomPairing,
+            TrafficPattern::Shuffle,
+        ],
+        seed + 3,
+    )?);
+
+    // Spine taper sweep (XGFT extension).
+    reps.push(ablation::taper(radix / 2, cfg, seed + 2)?);
+
+    // Also contrast against the CFT under the paper's configuration.
+    let cft = FoldedClos::cft(radix, 3)?;
+    let cft_routing = UpDownRouting::new(&cft);
+    reps.push(ablation::request_mode(
+        &cft,
+        &cft_routing,
+        cfg,
+        &[TrafficPattern::RandomPairing],
+        seed + 1,
+    )?);
+
+    Ok(reps)
+}
+
+/// The registry, in EXPERIMENTS.md order.
+static REGISTRY: [Entry; 14] = [
+    Entry {
+        name: "costs",
+        description: "cost case studies: switches/wires and RFC savings at 11K/100K/200K",
+        paper_anchor: "Section 5",
+        run: run_costs,
+    },
+    Entry {
+        name: "fig5",
+        description: "diameter of RFC/RRN/CFT/OFT versus network size",
+        paper_anchor: "Figure 5",
+        run: run_fig5,
+    },
+    Entry {
+        name: "fig6",
+        description: "scalability: compute nodes versus switch radix for 2-4 levels",
+        paper_anchor: "Figure 6",
+        run: run_fig6,
+    },
+    Entry {
+        name: "fig7",
+        description: "expandability: total system ports versus compute nodes",
+        paper_anchor: "Figure 7",
+        run: run_fig7,
+    },
+    Entry {
+        name: "table3",
+        description: "links removed at random to disconnect diameter-4 networks",
+        paper_anchor: "Table 3",
+        run: run_table3,
+    },
+    Entry {
+        name: "threshold",
+        description: "empirical up/down probability against the Theorem 4.2 threshold",
+        paper_anchor: "Theorem 4.2",
+        run: run_threshold,
+    },
+    Entry {
+        name: "fig8",
+        description: "latency/throughput of the equal-resources CFT and RFC",
+        paper_anchor: "Figure 8",
+        run: run_fig8,
+    },
+    Entry {
+        name: "fig9",
+        description: "latency/throughput at intermediate expansion (RFC vs free-port CFT)",
+        paper_anchor: "Figure 9",
+        run: run_fig9,
+    },
+    Entry {
+        name: "fig10",
+        description: "latency/throughput at the maximum-expansion threshold",
+        paper_anchor: "Figure 10",
+        run: run_fig10,
+    },
+    Entry {
+        name: "fig11",
+        description: "fraction of broken links tolerated while up/down routing survives",
+        paper_anchor: "Figure 11",
+        run: run_fig11,
+    },
+    Entry {
+        name: "fig12",
+        description: "simulated saturation throughput as links fail",
+        paper_anchor: "Figure 12",
+        run: run_fig12,
+    },
+    Entry {
+        name: "bisection",
+        description: "empirical bisection bracket against the analytic bounds",
+        paper_anchor: "Section 4.2",
+        run: run_bisection,
+    },
+    Entry {
+        name: "diversity",
+        description: "minimal-path ECMP counts for CFT/RFC/OFT and RRN k-shortest paths",
+        paper_anchor: "Section 7",
+        run: run_diversity,
+    },
+    Entry {
+        name: "ablation",
+        description: "design-choice ablations: request mode, flow control, stages, Valiant, taper",
+        paper_anchor: "DESIGN.md ablations",
+        run: run_ablation,
+    },
+];
+
+/// Every registered experiment, in canonical (EXPERIMENTS.md) order.
+pub fn all() -> Vec<&'static dyn Experiment> {
+    REGISTRY.iter().map(|e| e as &dyn Experiment).collect()
+}
+
+/// Looks up one experiment by registry name.
+pub fn find(name: &str) -> Option<&'static dyn Experiment> {
+    REGISTRY
+        .iter()
+        .find(|e| e.name == name)
+        .map(|e| e as &dyn Experiment)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rfc_sim::SimConfig;
+
+    #[test]
+    fn registry_has_14_unique_named_experiments() {
+        let names: Vec<&str> = all().iter().map(|e| e.name()).collect();
+        assert_eq!(names.len(), 14);
+        let mut dedup = names.clone();
+        dedup.sort_unstable();
+        dedup.dedup();
+        assert_eq!(dedup.len(), names.len(), "duplicate names: {names:?}");
+        for e in all() {
+            assert!(!e.description().is_empty());
+            assert!(!e.paper_anchor().is_empty());
+        }
+    }
+
+    #[test]
+    fn find_resolves_names_and_rejects_unknown() {
+        assert_eq!(find("fig8").unwrap().paper_anchor(), "Figure 8");
+        assert!(find("fig13").is_none());
+    }
+
+    #[test]
+    fn cheap_analytic_experiments_run_clean() {
+        let mut ctx = ExperimentContext::new(Scale::Small, 2017, SimConfig::quick());
+        for name in ["costs", "fig6", "fig7"] {
+            let reps = find(name).unwrap().run(&mut ctx).unwrap();
+            assert!(!reps.is_empty(), "{name} produced no reports");
+            for rep in &reps {
+                assert!(!rep.rows.is_empty(), "{name}: empty report");
+            }
+        }
+    }
+
+    #[test]
+    fn fig8_and_fig12_share_the_equal_resources_scenario() {
+        let mut ctx = ExperimentContext::new(Scale::Small, 2017, SimConfig::quick());
+        find("fig8").unwrap().run(&mut ctx).unwrap();
+        let after_fig8 = ctx.stats();
+        assert_eq!(after_fig8.scenario_builds, 1);
+        find("fig12").unwrap().run(&mut ctx).unwrap();
+        let after_fig12 = ctx.stats();
+        assert_eq!(
+            after_fig12.scenario_builds, 1,
+            "fig12 must reuse the cached scenario"
+        );
+        assert_eq!(after_fig12.scenario_hits, after_fig8.scenario_hits + 1);
+    }
+}

@@ -5,12 +5,13 @@
 //! expansion, Figure 10 the maximum expansion
 //! (see [`crate::scenarios`]).
 
-use rfc_routing::UpDownRouting;
 use rfc_sim::{RunScratch, SimConfig, SimNetwork, Simulation, TrafficPattern};
 
 use crate::parallel;
-use crate::report::{f3, Report};
-use crate::scenarios::Scenario;
+use crate::report::{f3, Report, ReportError};
+use crate::scenarios::{PreparedScenario, Scenario};
+
+use rfc_routing::UpDownRouting;
 
 /// One measured point of a latency/throughput curve.
 #[derive(Debug, Clone, PartialEq)]
@@ -48,11 +49,28 @@ pub fn run(
     config: SimConfig,
     seed: u64,
 ) -> Vec<SimPoint> {
-    let routings: Vec<UpDownRouting> = scenario
-        .nets
-        .iter()
-        .map(|snet| UpDownRouting::new(&snet.clos))
-        .collect();
+    run_prepared(
+        &PreparedScenario::prepare(scenario.clone()),
+        patterns,
+        loads,
+        config,
+        seed,
+    )
+}
+
+/// [`run`] on a scenario whose routing tables are already built
+/// (typically shared through
+/// [`crate::experiments::ExperimentContext`], so fig8/fig12 pay for the
+/// equal-resources routing exactly once).
+pub fn run_prepared(
+    prepared: &PreparedScenario,
+    patterns: &[TrafficPattern],
+    loads: &[f64],
+    config: SimConfig,
+    seed: u64,
+) -> Vec<SimPoint> {
+    let scenario = &prepared.scenario;
+    let routings: &[UpDownRouting] = &prepared.routings;
     let sim_nets: Vec<SimNetwork> = scenario
         .nets
         .iter()
@@ -66,7 +84,7 @@ pub fn run(
         .collect();
     let sims: Vec<Simulation<'_, UpDownRouting>> = sim_nets
         .iter()
-        .zip(&routings)
+        .zip(routings)
         .map(|(sim_net, routing)| Simulation::new(sim_net, routing, config))
         .collect();
 
@@ -96,14 +114,18 @@ pub fn run(
 }
 
 /// Renders the scenario's curves.
+///
+/// # Errors
+///
+/// Propagates [`ReportError`] on a row/header mismatch (driver bug).
 pub fn report(
-    scenario: &Scenario,
+    prepared: &PreparedScenario,
     patterns: &[TrafficPattern],
     loads: &[f64],
     config: SimConfig,
     seed: u64,
     title: &str,
-) -> Report {
+) -> Result<Report, ReportError> {
     let mut rep = Report::new(
         title,
         &[
@@ -115,7 +137,7 @@ pub fn report(
             "latency_p99",
         ],
     );
-    for p in run(scenario, patterns, loads, config, seed) {
+    for p in run_prepared(prepared, patterns, loads, config, seed) {
         rep.push_row(vec![
             p.net,
             p.pattern.to_string(),
@@ -131,9 +153,9 @@ pub fn report(
             } else {
                 f3(p.latency_p99)
             },
-        ]);
+        ])?;
     }
-    rep
+    Ok(rep)
 }
 
 /// Saturation throughput of one network/pattern (the knee the paper's
@@ -189,14 +211,38 @@ mod tests {
     fn report_renders_every_point() {
         let mut rng = StdRng::seed_from_u64(9);
         let scenario = equal_resources(Scale::Small, &mut rng).unwrap();
+        let prepared = PreparedScenario::prepare(scenario);
         let rep = report(
-            &scenario,
+            &prepared,
             &[TrafficPattern::FixedRandom],
             &[0.2],
             SimConfig::quick(),
             1,
             "fig8-test",
+        )
+        .unwrap();
+        assert_eq!(rep.rows.len(), prepared.scenario.nets.len());
+    }
+
+    #[test]
+    fn prepared_and_unprepared_paths_agree() {
+        let mut rng = StdRng::seed_from_u64(10);
+        let scenario = equal_resources(Scale::Small, &mut rng).unwrap();
+        let direct = run(
+            &scenario,
+            &[TrafficPattern::Uniform],
+            &[0.2],
+            SimConfig::quick(),
+            3,
         );
-        assert_eq!(rep.rows.len(), scenario.nets.len());
+        let prepared = PreparedScenario::prepare(scenario);
+        let shared = run_prepared(
+            &prepared,
+            &[TrafficPattern::Uniform],
+            &[0.2],
+            SimConfig::quick(),
+            3,
+        );
+        assert_eq!(direct, shared);
     }
 }

@@ -15,7 +15,7 @@ use rfc_graph::connectivity::disconnection_trial;
 use rfc_topology::{FoldedClos, Network, Rrn};
 
 use crate::parallel;
-use crate::report::{pct, Report};
+use crate::report::{pct, Report, ReportError};
 use crate::theory;
 
 /// One topology's cell in the table.
@@ -197,7 +197,11 @@ impl SwitchLinksVec for FoldedClos {
 }
 
 /// Renders the table.
-pub fn report<R: Rng + ?Sized>(targets: &[usize], trials: usize, rng: &mut R) -> Report {
+pub fn report<R: Rng + ?Sized>(
+    targets: &[usize],
+    trials: usize,
+    rng: &mut R,
+) -> Result<Report, ReportError> {
     let mut rep = Report::new(
         "table3-disconnection",
         &[
@@ -216,10 +220,10 @@ pub fn report<R: Rng + ?Sized>(targets: &[usize], trials: usize, rng: &mut R) ->
                 c.radix.to_string(),
                 c.terminals.to_string(),
                 pct(c.fraction),
-            ]);
+            ])?;
         }
     }
-    rep
+    Ok(rep)
 }
 
 /// The paper's terminal targets.
@@ -276,7 +280,7 @@ mod tests {
     #[test]
     fn report_renders_percentages() {
         let mut rng = StdRng::seed_from_u64(1);
-        let rep = report(&[512], 2, &mut rng);
+        let rep = report(&[512], 2, &mut rng).unwrap();
         assert!(rep.to_text().contains('%'));
     }
 }

@@ -14,7 +14,7 @@ use rfc_routing::UpDownRouting;
 use rfc_topology::FoldedClos;
 
 use crate::parallel;
-use crate::report::{f3, Report};
+use crate::report::{f3, Report, ReportError};
 use crate::theory;
 
 /// One validation cell.
@@ -101,7 +101,7 @@ pub fn report<R: Rng + ?Sized>(
     xs: &[f64],
     samples: usize,
     rng: &mut R,
-) -> Report {
+) -> Result<Report, ReportError> {
     let mut rep = Report::new(
         format!("theorem42-threshold-l{levels}"),
         &[
@@ -123,9 +123,9 @@ pub fn report<R: Rng + ?Sized>(
             p.finite_predicted.map_or_else(|| "-".into(), f3),
             f3(p.empirical),
             p.samples.to_string(),
-        ]);
+        ])?;
     }
-    rep
+    Ok(rep)
 }
 
 #[cfg(test)]

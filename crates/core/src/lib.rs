@@ -56,6 +56,7 @@
 
 pub mod cost;
 pub mod experiments;
+pub mod json;
 pub mod report;
 pub mod scenarios;
 pub mod theory;

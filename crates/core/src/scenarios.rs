@@ -124,6 +124,30 @@ pub struct Scenario {
     pub nets: Vec<ScenarioNet>,
 }
 
+/// A scenario together with the up/down routing table of every network
+/// — the two most expensive objects in the evaluation, built once and
+/// shared between experiments via
+/// [`crate::experiments::ExperimentContext`].
+#[derive(Debug)]
+pub struct PreparedScenario {
+    /// The networks under test.
+    pub scenario: Scenario,
+    /// `routings[i]` routes `scenario.nets[i]`.
+    pub routings: Vec<UpDownRouting>,
+}
+
+impl PreparedScenario {
+    /// Builds the routing table of every network in `scenario`.
+    pub fn prepare(scenario: Scenario) -> Self {
+        let routings = scenario
+            .nets
+            .iter()
+            .map(|snet| UpDownRouting::new(&snet.clos))
+            .collect();
+        Self { scenario, routings }
+    }
+}
+
 fn net(label: impl Into<String>, clos: FoldedClos, terminals: usize) -> ScenarioNet {
     ScenarioNet {
         label: label.into(),

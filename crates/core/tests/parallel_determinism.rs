@@ -13,7 +13,7 @@ use rand::SeedableRng;
 
 use rfc_net::experiments::{bisection, fig11, fig12, simfig, table3, threshold};
 use rfc_net::parallel;
-use rfc_net::scenarios::{equal_resources, Scale};
+use rfc_net::scenarios::{equal_resources, PreparedScenario, Scale};
 use rfc_net::sim::{SimConfig, TrafficPattern};
 
 /// The thread-count override is process-wide; serialize the tests that
@@ -120,18 +120,20 @@ fn report_text_is_byte_identical_across_thread_counts() {
     // match byte for byte, not just the floating-point values.
     let mut rng = StdRng::seed_from_u64(9);
     let scenario = equal_resources(Scale::Small, &mut rng).unwrap();
+    let prepared = PreparedScenario::prepare(scenario);
     let mut cfg = SimConfig::quick();
     cfg.warmup_cycles = 100;
     cfg.measure_cycles = 300;
     let render = || {
         simfig::report(
-            &scenario,
+            &prepared,
             &[TrafficPattern::Uniform],
             &[0.3, 0.7],
             cfg,
             5,
             "determinism-check",
         )
+        .unwrap()
         .to_text()
     };
     assert_schedule_invariant(8, render);

@@ -21,6 +21,8 @@ pub const RULE_AMBIENT_RNG: &str = "ambient-rng";
 pub const RULE_EXPECT_MESSAGE: &str = "expect-message";
 /// Rule name for heap allocation inside a marked hot-loop region.
 pub const RULE_HOT_LOOP_ALLOC: &str = "hot-loop-alloc";
+/// Rule name for oversized bench binaries (must stay registry shims).
+pub const RULE_THIN_BENCH_BIN: &str = "thin-bench-bin";
 
 /// Raw-comment marker opening a hot-loop region (e.g. the simulator's
 /// cycle loop): until the matching end marker, allocating calls are

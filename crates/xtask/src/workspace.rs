@@ -22,6 +22,16 @@ pub const DETERMINISTIC_CRATES: &[&str] = &[
 /// File name of the committed panic-surface baseline, at the repo root.
 pub const RATCHET_FILE: &str = "xtask-ratchet.toml";
 
+/// Code-line budget for bench binaries: every bin except
+/// [`THIN_BIN_EXEMPT`] must stay a thin shim over the experiment
+/// registry (`rfc_bench::run_registry(...)`), so experiment parameters
+/// live in exactly one place. Comments and blank lines are free.
+pub const THIN_BIN_MAX_CODE_LINES: usize = 10;
+
+/// Bench binaries exempt from the thin-shim budget (the engine
+/// microbenchmark is a standalone harness, not a paper experiment).
+pub const THIN_BIN_EXEMPT: &[&str] = &["engine_baseline.rs"];
+
 /// One discovered workspace crate.
 #[derive(Debug, Clone)]
 pub struct CrateInfo {
@@ -242,6 +252,40 @@ pub fn run_lint(root: &Path, write_ratchet: bool) -> Result<LintReport, String> 
             ));
         }
 
+        // Thin bench binaries: parameters belong in the experiment
+        // registry, not in per-figure main()s. Tolerates trees without
+        // a bench crate (fixture workspaces).
+        if krate.name == "bench" {
+            let bin_dir = krate.root.join("src").join("bin");
+            if bin_dir.is_dir() {
+                for path in read_dir_sorted(&bin_dir)? {
+                    let name = file_name(&path);
+                    if !path.extension().is_some_and(|e| e == "rs")
+                        || THIN_BIN_EXEMPT.contains(&name.as_str())
+                    {
+                        continue;
+                    }
+                    let src = fs::read_to_string(&path)
+                        .map_err(|e| format!("{}: {e}", path.display()))?;
+                    let code = code_line_count(&src);
+                    if code > THIN_BIN_MAX_CODE_LINES {
+                        report.violations.push((
+                            rel_display(root, &path),
+                            Violation {
+                                rule: crate::rules::RULE_THIN_BENCH_BIN.to_string(),
+                                line: 1,
+                                message: format!(
+                                    "{code} code lines (budget {THIN_BIN_MAX_CODE_LINES}); \
+                                     bench bins must stay `rfc_bench::run_registry(...)` shims — \
+                                     move parameters into the experiment registry"
+                                ),
+                            },
+                        ));
+                    }
+                }
+            }
+        }
+
         // Per-file rules and panic counting.
         let mut crate_counts = PanicCounts::default();
         for (path, test_file) in rust_files(krate)? {
@@ -300,6 +344,17 @@ pub fn run_lint(root: &Path, write_ratchet: bool) -> Result<LintReport, String> 
     Ok(report)
 }
 
+/// Counts the lines of a source file that carry code: non-blank and not
+/// pure comments. The budget ignores docs so shims can stay
+/// well-documented.
+pub fn code_line_count(source: &str) -> usize {
+    source
+        .lines()
+        .map(str::trim)
+        .filter(|l| !l.is_empty() && !l.starts_with("//"))
+        .count()
+}
+
 fn rel_display(root: &Path, path: &Path) -> String {
     path.strip_prefix(root)
         .unwrap_or(path)
@@ -321,6 +376,14 @@ mod tests {
         assert_eq!(missing.len(), 1);
         assert!(missing[0].contains("missing_docs"));
         assert_eq!(check_lib_header("").len(), 2);
+    }
+
+    #[test]
+    fn code_line_count_ignores_comments_and_blanks() {
+        let shim = "//! Doc.\n//! More doc.\n\nfn main() {\n    // inline note\n    rfc_bench::run_registry(\"fig8\");\n}\n";
+        assert_eq!(code_line_count(shim), 3);
+        assert_eq!(code_line_count(""), 0);
+        assert_eq!(code_line_count("//! only docs\n// and comments\n"), 0);
     }
 
     #[test]
