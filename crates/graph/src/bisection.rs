@@ -10,7 +10,7 @@
 use rand::seq::SliceRandom;
 use rand::Rng;
 
-use crate::Csr;
+use crate::{vid, Csr};
 
 /// Number of edges crossing the balanced partition defined by `side`
 /// (`true` = side A).
@@ -63,7 +63,7 @@ pub fn refine_partition(graph: &Csr, side: &mut [bool]) -> usize {
     };
     loop {
         let mut best: Option<(u32, u32, i64)> = None;
-        for a in 0..n as u32 {
+        for a in 0..vid(n) {
             if !side[a as usize] {
                 continue;
             }
@@ -71,7 +71,7 @@ pub fn refine_partition(graph: &Csr, side: &mut [bool]) -> usize {
             if ga <= 0 && best.is_some() {
                 continue; // cheap pruning: need positive combined gain
             }
-            for b in 0..n as u32 {
+            for b in 0..vid(n) {
                 if side[b as usize] {
                     continue;
                 }

@@ -4,7 +4,7 @@
 use rand::seq::SliceRandom;
 use rand::Rng;
 
-use crate::Csr;
+use crate::{vid, Csr};
 
 /// Disjoint-set forest (union by size, path halving).
 ///
@@ -31,7 +31,7 @@ impl DisjointSets {
     /// Creates `n` singleton sets.
     pub fn new(n: usize) -> Self {
         Self {
-            parent: (0..n as u32).collect(),
+            parent: (0..vid(n)).collect(),
             size: vec![1; n],
             sets: n,
         }
@@ -113,7 +113,7 @@ pub fn components(graph: &Csr) -> (Vec<u32>, usize) {
     let mut label = vec![u32::MAX; n];
     let mut count = 0u32;
     let mut stack = Vec::new();
-    for start in 0..n as u32 {
+    for start in 0..vid(n) {
         if label[start as usize] != u32::MAX {
             continue;
         }

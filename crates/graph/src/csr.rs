@@ -2,6 +2,8 @@
 
 use std::fmt;
 
+use crate::vid;
+
 /// An immutable undirected graph in compressed sparse row form.
 ///
 /// Vertices are identified by dense `u32` indices `0..n`. Each undirected
@@ -86,7 +88,7 @@ impl Csr {
         let mut acc = 0u32;
         offsets.push(0);
         for list in adj {
-            acc += list.len() as u32;
+            acc += vid(list.len());
             offsets.push(acc);
         }
         let mut targets = Vec::with_capacity(arcs);
@@ -142,14 +144,14 @@ impl Csr {
 
     /// Iterates over every undirected edge once, as `(u, v)` with `u <= v`.
     pub fn edges(&self) -> impl Iterator<Item = (u32, u32)> + '_ {
-        (0..self.num_vertices() as u32)
+        (0..vid(self.num_vertices()))
             .flat_map(move |u| self.neighbors(u).iter().map(move |&v| (u, v)))
             .filter(|&(u, v)| u <= v)
     }
 
     /// Maximum degree over all vertices, or 0 for the empty graph.
     pub fn max_degree(&self) -> usize {
-        (0..self.num_vertices() as u32)
+        (0..vid(self.num_vertices()))
             .map(|v| self.degree(v))
             .max()
             .unwrap_or(0)
@@ -157,7 +159,7 @@ impl Csr {
 
     /// Whether every vertex has degree exactly `d`.
     pub fn is_regular(&self, d: usize) -> bool {
-        (0..self.num_vertices() as u32).all(|v| self.degree(v) == d)
+        (0..vid(self.num_vertices())).all(|v| self.degree(v) == d)
     }
 }
 

@@ -49,3 +49,39 @@ pub use bitset::BitSet;
 pub use connectivity::DisjointSets;
 pub use csr::Csr;
 pub use error::GenerationError;
+
+/// Checked conversion into the dense `u32` vertex/index space.
+///
+/// Every graph in this workspace identifies vertices (and ports,
+/// terminals, …) by `u32`. This is the single place where `usize`-valued
+/// counts cross into that space: a topology large enough to overflow
+/// fails loudly here instead of silently truncating into a
+/// valid-looking but wrong identifier. The paper's largest scenario
+/// (100K terminals, §6) sits four orders of magnitude below the limit.
+#[inline]
+#[must_use]
+pub fn vid(i: usize) -> u32 {
+    assert!(
+        u32::try_from(i).is_ok(),
+        "index {i} exceeds the u32 vertex space"
+    );
+    // xtask: allow(lossy-cast) — asserted to fit directly above
+    i as u32
+}
+
+#[cfg(test)]
+mod vid_tests {
+    use super::vid;
+
+    #[test]
+    fn vid_is_identity_within_range() {
+        assert_eq!(vid(0), 0);
+        assert_eq!(vid(u32::MAX as usize), u32::MAX);
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds the u32 vertex space")]
+    fn vid_panics_on_overflow() {
+        vid(u32::MAX as usize + 1);
+    }
+}

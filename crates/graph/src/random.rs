@@ -9,7 +9,7 @@
 
 use rand::Rng;
 
-use crate::GenerationError;
+use crate::{vid, GenerationError};
 
 /// Default restart budget; the expected number of restarts is `O(1)` for
 /// every parameter regime used in the paper, so hitting this means the
@@ -62,9 +62,10 @@ pub fn random_regular<R: Rng + ?Sized>(
         return Ok(vec![Vec::new(); n]);
     }
 
+    let d32 = vid(d);
     'restart: for _ in 0..MAX_RESTARTS {
         // Points: vertex v owns points v*d .. v*d + d - 1.
-        let mut points: Vec<u32> = (0..(n * d) as u32).collect();
+        let mut points: Vec<u32> = (0..vid(n * d)).collect();
         let mut adj: Vec<Vec<u32>> = vec![Vec::with_capacity(d); n];
         let mut stalled = 0usize;
         while !points.is_empty() {
@@ -80,8 +81,8 @@ pub fn random_regular<R: Rng + ?Sized>(
             points.swap(i, len - 1);
             let j = rng.gen_range(0..len - 1);
             points.swap(j, len - 2);
-            let u = points[len - 1] / d as u32;
-            let v = points[len - 2] / d as u32;
+            let u = points[len - 1] / d32;
+            let v = points[len - 2] / d32;
             if u == v || adj[u as usize].contains(&v) {
                 stalled += 1;
                 continue;
@@ -101,7 +102,8 @@ pub fn random_regular<R: Rng + ?Sized>(
 /// Whether any suitable pair remains among unsaturated vertices in the
 /// regular construction.
 fn regular_pair_exists(adj: &[Vec<u32>], points: &[u32], d: usize) -> bool {
-    let mut open: Vec<u32> = points.iter().map(|&p| p / d as u32).collect();
+    let d32 = vid(d);
+    let mut open: Vec<u32> = points.iter().map(|&p| p / d32).collect();
     open.sort_unstable();
     open.dedup();
     for (idx, &a) in open.iter().enumerate() {
@@ -201,9 +203,10 @@ pub fn random_bipartite<R: Rng + ?Sized>(
         });
     }
 
+    let (d1_32, d2_32) = (vid(d1), vid(d2));
     'restart: for _ in 0..MAX_RESTARTS {
-        let mut points1: Vec<u32> = (0..(n1 * d1) as u32).collect();
-        let mut points2: Vec<u32> = (0..(n2 * d2) as u32).collect();
+        let mut points1: Vec<u32> = (0..vid(n1 * d1)).collect();
+        let mut points2: Vec<u32> = (0..vid(n2 * d2)).collect();
         let mut adj1: Vec<Vec<u32>> = vec![Vec::with_capacity(d1); n1];
         let mut adj2: Vec<Vec<u32>> = vec![Vec::with_capacity(d2); n2];
         let mut stalled = 0usize;
@@ -220,8 +223,8 @@ pub fn random_bipartite<R: Rng + ?Sized>(
             let len2 = points2.len();
             let j = rng.gen_range(0..len2);
             points2.swap(j, len2 - 1);
-            let u = points1[len1 - 1] / d1 as u32;
-            let v = points2[len2 - 1] / d2 as u32;
+            let u = points1[len1 - 1] / d1_32;
+            let v = points2[len2 - 1] / d2_32;
             if adj1[u as usize].contains(&v) {
                 stalled += 1;
                 continue;
@@ -248,10 +251,11 @@ fn bipartite_pair_exists(
     d1: usize,
     d2: usize,
 ) -> bool {
-    let mut open1: Vec<u32> = points1.iter().map(|&p| p / d1 as u32).collect();
+    let (d1_32, d2_32) = (vid(d1), vid(d2));
+    let mut open1: Vec<u32> = points1.iter().map(|&p| p / d1_32).collect();
     open1.sort_unstable();
     open1.dedup();
-    let mut open2: Vec<u32> = points2.iter().map(|&p| p / d2 as u32).collect();
+    let mut open2: Vec<u32> = points2.iter().map(|&p| p / d2_32).collect();
     open2.sort_unstable();
     open2.dedup();
     for &a in &open1 {

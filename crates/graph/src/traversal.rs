@@ -2,7 +2,7 @@
 
 use std::collections::VecDeque;
 
-use crate::Csr;
+use crate::{vid, Csr};
 
 /// Distance value marking vertices unreachable from the BFS source.
 pub const UNREACHABLE: u32 = u32::MAX;
@@ -67,7 +67,7 @@ pub fn diameter(graph: &Csr) -> Option<u32> {
         return None;
     }
     let mut best = 0;
-    for v in 0..n as u32 {
+    for v in 0..vid(n) {
         best = best.max(eccentricity(graph, v)?);
     }
     Some(best)

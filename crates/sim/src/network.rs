@@ -2,6 +2,7 @@
 
 use std::fmt;
 
+use rfc_graph::vid;
 use rfc_topology::{FoldedClos, Rrn};
 
 /// Where an output port sends packets.
@@ -96,14 +97,14 @@ impl SimNetwork {
     /// destinations are leaf switches.
     pub fn from_folded_clos(clos: &FoldedClos) -> Self {
         let n = clos.num_switches();
-        let adjacency: Vec<Vec<u32>> = (0..n as u32)
+        let adjacency: Vec<Vec<u32>> = (0..vid(n))
             .map(|s| {
                 let mut nb = clos.down_neighbors(s);
                 nb.extend(clos.up_neighbors(s));
                 nb
             })
             .collect();
-        let terminals: Vec<u32> = (0..clos.num_terminals() as u32)
+        let terminals: Vec<u32> = (0..vid(clos.num_terminals()))
             .map(|t| clos.leaf_of_terminal(t))
             .collect();
         Self::build(n, &adjacency, &terminals)
@@ -124,7 +125,7 @@ impl SimNetwork {
     ///
     /// Panics if `terminals` exceeds the topology's terminal capacity.
     pub fn from_folded_clos_populated(clos: &FoldedClos, terminals: usize) -> Self {
-        let tpl = clos.terminals_per_leaf() as u32;
+        let tpl = vid(clos.terminals_per_leaf());
         Self::populated_by(clos, terminals, |t| t / tpl)
     }
 
@@ -138,7 +139,7 @@ impl SimNetwork {
     ///
     /// Panics if `terminals` exceeds the topology's terminal capacity.
     pub fn from_folded_clos_spread(clos: &FoldedClos, terminals: usize) -> Self {
-        let leaves = clos.num_leaves() as u32;
+        let leaves = vid(clos.num_leaves());
         Self::populated_by(clos, terminals, |t| t % leaves)
     }
 
@@ -149,14 +150,14 @@ impl SimNetwork {
             clos.num_terminals()
         );
         let n = clos.num_switches();
-        let adjacency: Vec<Vec<u32>> = (0..n as u32)
+        let adjacency: Vec<Vec<u32>> = (0..vid(n))
             .map(|s| {
                 let mut nb = clos.down_neighbors(s);
                 nb.extend(clos.up_neighbors(s));
                 nb
             })
             .collect();
-        let map: Vec<u32> = (0..terminals as u32).map(leaf_of).collect();
+        let map: Vec<u32> = (0..vid(terminals)).map(leaf_of).collect();
         Self::build(n, &adjacency, &map)
     }
 
@@ -164,8 +165,8 @@ impl SimNetwork {
     /// destinations are the switches hosting the terminals.
     pub fn from_rrn(rrn: &Rrn) -> Self {
         let n = rrn.num_switches();
-        let adjacency: Vec<Vec<u32>> = (0..n as u32).map(|s| rrn.neighbors(s).to_vec()).collect();
-        let terminals: Vec<u32> = (0..rrn.num_terminals() as u32)
+        let adjacency: Vec<Vec<u32>> = (0..vid(n)).map(|s| rrn.neighbors(s).to_vec()).collect();
+        let terminals: Vec<u32> = (0..vid(rrn.num_terminals()))
             .map(|t| rrn.switch_of_terminal(t))
             .collect();
         Self::build(n, &adjacency, &terminals)
@@ -181,15 +182,16 @@ impl SimNetwork {
         // of switch s fed by `neighbor`.
         let mut in_port_from: Vec<Vec<(u32, u32)>> = vec![Vec::new(); num_switches];
         for (s, nbs) in adjacency.iter().enumerate() {
+            let s32 = vid(s);
             for &nb in nbs {
-                let id = switch_of_in_port.len() as u32;
-                switch_of_in_port.push(s as u32);
+                let id = vid(switch_of_in_port.len());
+                switch_of_in_port.push(s32);
                 in_port_from[s].push((nb, id));
             }
         }
         let mut inject_port_of_terminal = Vec::with_capacity(terminal_switch.len());
         for &s in terminal_switch {
-            let id = switch_of_in_port.len() as u32;
+            let id = vid(switch_of_in_port.len());
             switch_of_in_port.push(s);
             inject_port_of_terminal.push(id);
         }
@@ -202,13 +204,14 @@ impl SimNetwork {
         let mut out_target = Vec::new();
         let mut out_port_of_neighbor: Vec<Vec<(u32, u32)>> = vec![Vec::new(); num_switches];
         for (s, nbs) in adjacency.iter().enumerate() {
+            let s32 = vid(s);
             for &nb in nbs {
-                let id = out_owner.len() as u32;
-                out_owner.push(s as u32);
+                let id = vid(out_owner.len());
+                out_owner.push(s32);
                 // The input port at `nb` fed by `s`.
                 let table = &in_port_from[nb as usize];
                 let pos = table
-                    .binary_search_by_key(&(s as u32), |&(src, _)| src)
+                    .binary_search_by_key(&s32, |&(src, _)| src)
                     .expect("symmetric adjacency");
                 out_target.push(OutTarget::Link {
                     switch: nb,
@@ -219,9 +222,9 @@ impl SimNetwork {
         }
         let mut eject_port_of_terminal = Vec::with_capacity(terminal_switch.len());
         for (t, &s) in terminal_switch.iter().enumerate() {
-            let id = out_owner.len() as u32;
+            let id = vid(out_owner.len());
             out_owner.push(s);
-            out_target.push(OutTarget::Eject { terminal: t as u32 });
+            out_target.push(OutTarget::Eject { terminal: vid(t) });
             eject_port_of_terminal.push(id);
         }
         for list in &mut out_port_of_neighbor {

@@ -1,6 +1,7 @@
 //! Synthetic datacenter traffic patterns (Section 6 of the paper).
 
 use rand::Rng;
+use rfc_graph::vid;
 
 /// The three synthetic patterns of the paper (adapted from the
 /// Blue Gene/Q evaluation they cite).
@@ -70,12 +71,11 @@ impl TrafficState {
         terminals: usize,
         rng: &mut R,
     ) -> Self {
+        let t32 = vid(terminals);
         match pattern {
-            TrafficPattern::Uniform => TrafficState::Uniform {
-                terminals: terminals as u32,
-            },
+            TrafficPattern::Uniform => TrafficState::Uniform { terminals: t32 },
             TrafficPattern::RandomPairing => {
-                let mut ids: Vec<u32> = (0..terminals as u32).collect();
+                let mut ids: Vec<u32> = (0..t32).collect();
                 // Fisher-Yates, then pair consecutive entries.
                 for i in (1..ids.len()).rev() {
                     let j = rng.gen_range(0..=i);
@@ -89,14 +89,14 @@ impl TrafficState {
                 TrafficState::Fixed { dest }
             }
             TrafficPattern::FixedRandom => {
-                let dest = (0..terminals as u32)
+                let dest = (0..t32)
                     .map(|src| {
                         if terminals < 2 {
                             return None;
                         }
-                        let mut d = rng.gen_range(0..terminals as u32);
+                        let mut d = rng.gen_range(0..t32);
                         while d == src {
-                            d = rng.gen_range(0..terminals as u32);
+                            d = rng.gen_range(0..t32);
                         }
                         Some(d)
                     })
@@ -108,10 +108,8 @@ impl TrafficState {
                 // that fall outside 0..T or map to the source stay
                 // silent, so the pattern degrades gracefully for
                 // non-power-of-two populations.
-                let bits = (terminals.max(2) as u32)
-                    .next_power_of_two()
-                    .trailing_zeros();
-                let dest = (0..terminals as u32)
+                let bits = vid(terminals.max(2)).next_power_of_two().trailing_zeros();
+                let dest = (0..t32)
                     .map(|src| {
                         let rotated = ((src << 1) | (src >> (bits - 1))) & ((1u32 << bits) - 1);
                         (rotated != src && (rotated as usize) < terminals).then_some(rotated)
@@ -120,9 +118,7 @@ impl TrafficState {
                 TrafficState::Fixed { dest }
             }
             TrafficPattern::AllToOne => {
-                let dest = (0..terminals as u32)
-                    .map(|src| (src != 0).then_some(0))
-                    .collect();
+                let dest = (0..t32).map(|src| (src != 0).then_some(0)).collect();
                 TrafficState::Fixed { dest }
             }
         }

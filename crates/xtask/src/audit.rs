@@ -1,0 +1,296 @@
+//! The `cargo xtask audit` driver: workspace-level passes that the
+//! line-local lint cannot express.
+//!
+//! Three passes (DESIGN.md §12), sharing the scanner, walker, and
+//! ratchet infrastructure with `cargo xtask lint`:
+//!
+//! 1. **Layering** ([`crate::layers`]) — the inter-crate dependency
+//!    DAG must match the committed `xtask-layers.toml`; upward or
+//!    contract-skipping edges and undeclared crates fail closed.
+//! 2. **Numeric-cast ratchet** ([`crate::casts`]) — per-crate
+//!    potentially-lossy `as` cast counts may only decrease relative to
+//!    the `lossy-cast` keys in `xtask-ratchet.toml`.
+//! 3. **Unsafe soundness** — every `unsafe` token in non-test code
+//!    outside `crates/compat` must carry a `// SAFETY:` justification
+//!    on the same line or the comment block directly above. This is a
+//!    hard rule with no ratchet and no allow directive: the workspace
+//!    builds with `unsafe_code = "forbid"`, so any future opt-out must
+//!    justify every site from day one.
+
+use std::collections::BTreeMap;
+use std::fs;
+use std::path::Path;
+
+use crate::casts::{analyze_casts, CastCounts, LossySite};
+use crate::layers::{self, LayerCrate, LAYERS_FILE};
+use crate::ratchet;
+use crate::rules::{Violation, RULE_LAYERING, RULE_UNSAFE_SOUNDNESS};
+use crate::scan::{scan, ScannedLine};
+use crate::workspace::{discover, rust_files, RATCHET_FILE};
+
+/// Everything `cargo xtask audit` found.
+#[derive(Debug, Default)]
+pub struct AuditReport {
+    /// Hard failures: `(display path, violation)`.
+    pub violations: Vec<(String, Violation)>,
+    /// Measured non-test cast tallies per crate.
+    pub cast_counts: BTreeMap<String, CastCounts>,
+    /// Unsuppressed lossy cast sites as `(display path, site)`, for
+    /// the `cargo xtask casts` burn-down listing.
+    pub lossy_sites: Vec<(String, LossySite)>,
+    /// Counts now below the committed baseline (nudges, not failures).
+    pub improvements: Vec<String>,
+}
+
+impl AuditReport {
+    /// Whether the tree is clean.
+    pub fn is_clean(&self) -> bool {
+        self.violations.is_empty()
+    }
+}
+
+/// Runs the three audit passes over the workspace at `root`.
+pub fn run_audit(root: &Path) -> Result<AuditReport, String> {
+    let mut report = AuditReport::default();
+    let crates = discover(root)?;
+
+    // Pass 1: layering.
+    match fs::read_to_string(root.join(LAYERS_FILE)) {
+        Ok(text) => match layers::parse_layers(&text) {
+            Ok(config) => {
+                let root_manifest = fs::read_to_string(root.join("Cargo.toml"))
+                    .map_err(|e| format!("{}: {e}", root.join("Cargo.toml").display()))?;
+                let ws_paths = layers::workspace_dep_paths(&root_manifest);
+                let mut layer_crates = Vec::new();
+                for krate in &crates {
+                    let manifest_path = krate.root.join("Cargo.toml");
+                    let manifest = fs::read_to_string(&manifest_path)
+                        .map_err(|e| format!("{}: {e}", manifest_path.display()))?;
+                    layer_crates.push(LayerCrate {
+                        name: krate.name.clone(),
+                        dir: krate
+                            .root
+                            .strip_prefix(root)
+                            .unwrap_or(&krate.root)
+                            .to_path_buf(),
+                        deps: layers::manifest_deps(&manifest),
+                    });
+                }
+                report
+                    .violations
+                    .extend(layers::check(&config, &layer_crates, &ws_paths));
+            }
+            Err(e) => report.violations.push((
+                LAYERS_FILE.to_string(),
+                Violation {
+                    rule: RULE_LAYERING.to_string(),
+                    line: 1,
+                    message: format!("malformed layer declarations: {e}"),
+                },
+            )),
+        },
+        Err(e) => report.violations.push((
+            LAYERS_FILE.to_string(),
+            Violation {
+                rule: RULE_LAYERING.to_string(),
+                line: 1,
+                message: format!(
+                    "cannot read the layer declarations: {e}; every workspace crate must be \
+                     assigned to a layer in {LAYERS_FILE}"
+                ),
+            },
+        )),
+    }
+
+    // Passes 2 and 3: per-file cast tallies and unsafe soundness.
+    for krate in &crates {
+        let compat = krate.name.starts_with("compat-");
+        let mut crate_casts = CastCounts::default();
+        for (path, test_file) in rust_files(krate)? {
+            let src = fs::read_to_string(&path).map_err(|e| format!("{}: {e}", path.display()))?;
+            let display = rel_display(root, &path);
+            let analysis = analyze_casts(&src, test_file);
+            crate_casts.add(analysis.counts);
+            for site in analysis.lossy_sites {
+                report.lossy_sites.push((display.clone(), site));
+            }
+            if !compat && !test_file {
+                for v in unsafe_violations(&scan(&src)) {
+                    report.violations.push((display.clone(), v));
+                }
+            }
+        }
+        report.cast_counts.insert(krate.name.clone(), crate_casts);
+    }
+
+    // Cast ratchet.
+    match fs::read_to_string(root.join(RATCHET_FILE)) {
+        Ok(text) => {
+            let baseline = ratchet::parse(&text)?;
+            let (failures, improvements) = ratchet::compare_lossy(&baseline, &report.cast_counts);
+            for f in failures {
+                report.violations.push((
+                    RATCHET_FILE.to_string(),
+                    Violation {
+                        rule: "ratchet".to_string(),
+                        line: 1,
+                        message: f,
+                    },
+                ));
+            }
+            report.improvements = improvements;
+        }
+        Err(e) => report.violations.push((
+            RATCHET_FILE.to_string(),
+            Violation {
+                rule: "ratchet".to_string(),
+                line: 1,
+                message: format!(
+                    "cannot read the ratchet baseline: {e}; \
+                     create it with `cargo xtask lint --all --write-ratchet`"
+                ),
+            },
+        )),
+    }
+
+    report
+        .violations
+        .sort_by(|a, b| (&a.0, a.1.line).cmp(&(&b.0, b.1.line)));
+    Ok(report)
+}
+
+/// The unsafe-soundness pass over one scanned file: every non-test
+/// line carrying an `unsafe` token needs a `SAFETY:` comment on the
+/// same line or in the contiguous comment block directly above.
+pub fn unsafe_violations(lines: &[ScannedLine]) -> Vec<Violation> {
+    let mut out = Vec::new();
+    for (idx, line) in lines.iter().enumerate() {
+        if line.in_test || !has_unsafe_token(&line.code) {
+            continue;
+        }
+        if !has_safety_comment(lines, idx) {
+            out.push(Violation {
+                rule: RULE_UNSAFE_SOUNDNESS.to_string(),
+                line: idx + 1,
+                message: "`unsafe` without a `// SAFETY:` comment on the preceding line; \
+                          state the invariant that makes this sound"
+                    .to_string(),
+            });
+        }
+    }
+    out
+}
+
+/// Whether the stripped code text contains `unsafe` as a standalone
+/// keyword (so `unsafe_code` in attributes never matches).
+fn has_unsafe_token(code: &str) -> bool {
+    let mut from = 0;
+    while let Some(at) = code[from..].find("unsafe") {
+        let start = from + at;
+        let end = start + "unsafe".len();
+        let pre_ok = code[..start]
+            .chars()
+            .next_back()
+            .is_none_or(|c| !c.is_alphanumeric() && c != '_');
+        let post_ok = code[end..]
+            .chars()
+            .next()
+            .is_none_or(|c| !c.is_alphanumeric() && c != '_');
+        if pre_ok && post_ok {
+            return true;
+        }
+        from = end;
+    }
+    false
+}
+
+/// Whether line `idx` carries a `SAFETY:` justification: on the line
+/// itself (trailing comment) or anywhere in the contiguous block of
+/// comment-only lines directly above.
+fn has_safety_comment(lines: &[ScannedLine], idx: usize) -> bool {
+    if lines[idx].raw.contains("SAFETY:") {
+        return true;
+    }
+    let mut j = idx;
+    while j > 0 {
+        j -= 1;
+        let above = lines[j].raw.trim();
+        if above.starts_with("//") {
+            if above.contains("SAFETY:") {
+                return true;
+            }
+        } else {
+            break;
+        }
+    }
+    false
+}
+
+fn rel_display(root: &Path, path: &Path) -> String {
+    path.strip_prefix(root)
+        .unwrap_or(path)
+        .display()
+        .to_string()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn violations(src: &str) -> Vec<Violation> {
+        unsafe_violations(&scan(src))
+    }
+
+    #[test]
+    fn unannotated_unsafe_is_flagged_with_its_line() {
+        let src = "fn f() {\n    let p = unsafe { *ptr };\n}";
+        let v = violations(src);
+        assert_eq!(v.len(), 1);
+        assert_eq!(v[0].line, 2);
+        assert_eq!(v[0].rule, RULE_UNSAFE_SOUNDNESS);
+    }
+
+    #[test]
+    fn safety_comment_above_or_trailing_satisfies_the_rule() {
+        for good in [
+            "// SAFETY: ptr is valid for the slice's lifetime\nlet p = unsafe { *ptr };",
+            "let p = unsafe { *ptr }; // SAFETY: checked above",
+            "// The block below needs care.\n// SAFETY: bounds checked at construction\n// (see new())\nlet p = unsafe { *ptr };",
+        ] {
+            assert!(violations(good).is_empty(), "{good}");
+        }
+    }
+
+    #[test]
+    fn a_gap_between_comment_and_unsafe_breaks_coverage() {
+        let src = "// SAFETY: stale justification\nlet x = 1;\nlet p = unsafe { *ptr };";
+        assert_eq!(violations(src).len(), 1);
+    }
+
+    #[test]
+    fn unsafe_fn_and_impl_are_covered() {
+        assert_eq!(violations("unsafe fn raw() {}").len(), 1);
+        assert_eq!(violations("unsafe impl Send for X {}").len(), 1);
+        assert!(
+            violations("// SAFETY: X owns no thread-local state\nunsafe impl Send for X {}")
+                .is_empty()
+        );
+    }
+
+    #[test]
+    fn attribute_and_string_mentions_do_not_fire() {
+        for benign in [
+            "#![forbid(unsafe_code)]",
+            "let s = \"unsafe\";",
+            "// unsafe discussed in a comment",
+        ] {
+            assert!(violations(benign).is_empty(), "{benign}");
+        }
+    }
+
+    #[test]
+    fn test_code_is_exempt() {
+        let src = "fn real() {}\n#[cfg(test)]\nmod tests {\n    fn t() { unsafe { x() } }\n}";
+        assert!(violations(src).is_empty());
+    }
+}

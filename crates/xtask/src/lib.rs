@@ -17,17 +17,33 @@
 //!   `#![forbid(unsafe_code)]` + `#![warn(missing_docs)]` header and
 //!   inherits `[workspace.lints]`.
 //!
+//! `cargo xtask audit` adds three workspace-level passes on the same
+//! scanner (run both with `cargo xtask lint --all`; DESIGN.md §12):
+//!
+//! * **Layering** ([`layers`]) — the inter-crate dependency DAG must
+//!   match the committed `xtask-layers.toml`; upward edges and
+//!   undeclared crates fail closed.
+//! * **Numeric-cast ratchet** ([`casts`]) — per-crate potentially-lossy
+//!   `as` cast counts may only decrease (`lossy-cast` keys in
+//!   `xtask-ratchet.toml`).
+//! * **Unsafe soundness** ([`audit`]) — every `unsafe` outside
+//!   `crates/compat` must carry a `// SAFETY:` justification.
+//!
 //! Everything is plain lexical analysis over the source tree (no `syn`,
 //! no registry dependencies), so the tool builds in the same hermetic
 //! environment as the rest of the workspace. See DESIGN.md §9 for the
-//! workflow.
+//! lint workflow and §12 for the audit passes.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod audit;
+pub mod casts;
+pub mod layers;
 pub mod ratchet;
 pub mod rules;
 pub mod scan;
 pub mod workspace;
 
+pub use audit::{run_audit, AuditReport};
 pub use workspace::{run_lint, LintReport};

@@ -12,9 +12,17 @@ const USAGE: &str = "\
 Usage: cargo xtask <command>
 
 Commands:
-  lint                  run the determinism, ratchet, and lint-gate checks
-  lint --write-ratchet  rewrite xtask-ratchet.toml with the current counts
-  counts                print the per-crate panic-surface table
+  lint                   run the determinism, ratchet, and lint-gate checks
+  lint --all             run lint plus the audit passes (layering,
+                         cast ratchet, unsafe soundness)
+  audit                  run only the audit passes
+  counts                 print the per-crate panic-surface table
+  casts                  print the per-crate cast table and every
+                         unsuppressed lossy cast site
+
+Flags:
+  --write-ratchet        rewrite xtask-ratchet.toml (panic-surface and
+                         lossy-cast baselines) with the current counts
 ";
 
 fn main() -> ExitCode {
@@ -26,10 +34,19 @@ fn main() -> ExitCode {
             return ExitCode::FAILURE;
         }
     };
-    match args.iter().map(String::as_str).collect::<Vec<_>>()[..] {
-        ["lint"] => lint(&root, false),
-        ["lint", "--write-ratchet"] => lint(&root, true),
-        ["counts"] => counts(&root),
+    let write_ratchet = args.iter().any(|a| a == "--write-ratchet");
+    let all = args.iter().any(|a| a == "--all");
+    let flags_only: Vec<&str> = args
+        .iter()
+        .map(String::as_str)
+        .filter(|a| *a != "--write-ratchet" && *a != "--all")
+        .collect();
+    match (flags_only.as_slice(), all) {
+        (["lint"], false) => lint(&root, write_ratchet, false),
+        (["lint"], true) => lint(&root, write_ratchet, true),
+        (["audit"], false) => audit(&root, write_ratchet),
+        (["counts"], false) => counts(&root),
+        (["casts"], false) => casts(&root),
         _ => {
             eprint!("{USAGE}");
             ExitCode::FAILURE
@@ -48,7 +65,7 @@ fn workspace_root() -> Result<PathBuf, String> {
         .ok_or_else(|| "cannot locate workspace root above crates/xtask".to_string())
 }
 
-fn lint(root: &std::path::Path, write_ratchet: bool) -> ExitCode {
+fn lint(root: &std::path::Path, write_ratchet: bool, all: bool) -> ExitCode {
     let report = match run_lint(root, write_ratchet) {
         Ok(r) => r,
         Err(e) => {
@@ -58,11 +75,62 @@ fn lint(root: &std::path::Path, write_ratchet: bool) -> ExitCode {
     };
     if write_ratchet {
         println!(
-            "wrote {RATCHET_FILE}: {} crates, {} panic sites total",
+            "wrote {RATCHET_FILE}: {} crates, {} panic sites, {} lossy casts total",
+            report.counts.len(),
+            report.counts.values().map(|c| c.total()).sum::<usize>(),
+            report.cast_counts.values().map(|c| c.lossy).sum::<usize>()
+        );
+    }
+    let mut violations = report.violations;
+    let mut improvements = report.improvements;
+    if all {
+        match xtask::run_audit(root) {
+            Ok(audit_report) => {
+                violations.extend(audit_report.violations);
+                improvements.extend(audit_report.improvements);
+            }
+            Err(e) => {
+                eprintln!("error: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    for note in &improvements {
+        println!("note: {note}");
+    }
+    for (path, v) in &violations {
+        eprintln!("error[{}]: {}:{}: {}", v.rule, path, v.line, v.message);
+    }
+    let label = if all { "lint --all" } else { "lint" };
+    if violations.is_empty() {
+        println!(
+            "xtask {label}: clean ({} crates checked, {} non-test panic sites)",
             report.counts.len(),
             report.counts.values().map(|c| c.total()).sum::<usize>()
         );
+        ExitCode::SUCCESS
+    } else {
+        eprintln!("xtask {label}: {} violation(s)", violations.len());
+        ExitCode::FAILURE
     }
+}
+
+fn audit(root: &std::path::Path, write_ratchet: bool) -> ExitCode {
+    if write_ratchet {
+        // The ratchet file holds the panic-surface and cast baselines
+        // together; the lint walker measures both in one pass.
+        if let Err(e) = run_lint(root, true) {
+            eprintln!("error: {e}");
+            return ExitCode::FAILURE;
+        }
+    }
+    let report = match xtask::run_audit(root) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
     for note in &report.improvements {
         println!("note: {note}");
     }
@@ -71,13 +139,13 @@ fn lint(root: &std::path::Path, write_ratchet: bool) -> ExitCode {
     }
     if report.is_clean() {
         println!(
-            "xtask lint: clean ({} crates checked, {} non-test panic sites)",
-            report.counts.len(),
-            report.counts.values().map(|c| c.total()).sum::<usize>()
+            "xtask audit: clean ({} crates checked, {} unsuppressed lossy casts)",
+            report.cast_counts.len(),
+            report.cast_counts.values().map(|c| c.lossy).sum::<usize>()
         );
         ExitCode::SUCCESS
     } else {
-        eprintln!("xtask lint: {} violation(s)", report.violations.len());
+        eprintln!("xtask audit: {} violation(s)", report.violations.len());
         ExitCode::FAILURE
     }
 }
@@ -102,6 +170,30 @@ fn counts(root: &std::path::Path) -> ExitCode {
             c.panic,
             c.total()
         );
+    }
+    ExitCode::SUCCESS
+}
+
+fn casts(root: &std::path::Path) -> ExitCode {
+    let report = match xtask::run_audit(root) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    println!(
+        "{:<18} {:>9} {:>9} {:>8} {:>8}",
+        "crate", "lossless", "widening", "lossy", "allowed"
+    );
+    for (name, c) in &report.cast_counts {
+        println!(
+            "{name:<18} {:>9} {:>9} {:>8} {:>8}",
+            c.lossless, c.widening, c.lossy, c.allowed
+        );
+    }
+    for (path, site) in &report.lossy_sites {
+        println!("lossy: {}:{}: as {}", path, site.line, site.target);
     }
     ExitCode::SUCCESS
 }

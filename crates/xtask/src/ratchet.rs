@@ -1,21 +1,34 @@
-//! The committed panic-surface baseline (`xtask-ratchet.toml`).
+//! The committed ratchet baseline (`xtask-ratchet.toml`).
 //!
 //! The baseline records, per crate, how many `.unwrap()` / `.expect(` /
-//! panic-macro sites exist in non-test code. `cargo xtask lint` fails
-//! when any count *rises* above the baseline, and reports (without
-//! failing) when a count has dropped so the baseline can be tightened
-//! with `cargo xtask lint --write-ratchet`. The file is parsed with a
-//! purpose-built reader rather than a TOML dependency: the format is a
-//! fixed `[crate.<name>]` table of three integer keys.
+//! panic-macro sites exist in non-test code (enforced by `cargo xtask
+//! lint`) and how many potentially-lossy `as` casts (enforced by
+//! `cargo xtask audit`, see [`crate::casts`]). Either check fails when
+//! its count *rises* above the baseline, and reports (without failing)
+//! when a count has dropped so the baseline can be tightened with
+//! `--write-ratchet`. The file is parsed with a purpose-built reader
+//! rather than a TOML dependency: the format is a fixed
+//! `[crate.<name>]` table of integer keys.
 
 use std::collections::BTreeMap;
 
+use crate::casts::CastCounts;
 use crate::rules::PanicCounts;
+
+/// Per-crate baseline: the panic surface plus the lossy-cast count.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct BaselineCounts {
+    /// Panic-surface portion (ratcheted by `cargo xtask lint`).
+    pub panic: PanicCounts,
+    /// Potentially-lossy cast count (ratcheted by `cargo xtask audit`).
+    /// Files written before the audit existed default to 0.
+    pub lossy_cast: usize,
+}
 
 /// Parses the ratchet file. Returns crate name → baseline counts, or a
 /// description of the first malformed line.
-pub fn parse(text: &str) -> Result<BTreeMap<String, PanicCounts>, String> {
-    let mut out: BTreeMap<String, PanicCounts> = BTreeMap::new();
+pub fn parse(text: &str) -> Result<BTreeMap<String, BaselineCounts>, String> {
+    let mut out: BTreeMap<String, BaselineCounts> = BTreeMap::new();
     let mut current: Option<String> = None;
     for (idx, raw) in text.lines().enumerate() {
         let line = raw.trim();
@@ -29,7 +42,7 @@ pub fn parse(text: &str) -> Result<BTreeMap<String, PanicCounts>, String> {
             if out.contains_key(name) {
                 return Err(format!("line {}: duplicate crate `{name}`", idx + 1));
             }
-            out.insert(name.to_string(), PanicCounts::default());
+            out.insert(name.to_string(), BaselineCounts::default());
             current = Some(name.to_string());
             continue;
         }
@@ -47,42 +60,49 @@ pub fn parse(text: &str) -> Result<BTreeMap<String, PanicCounts>, String> {
             .get_mut(crate_name)
             .expect("section inserted on open above");
         match key.trim() {
-            "unwrap" => entry.unwrap = n,
-            "expect" => entry.expect = n,
-            "panic" => entry.panic = n,
+            "unwrap" => entry.panic.unwrap = n,
+            "expect" => entry.panic.expect = n,
+            "panic" => entry.panic.panic = n,
+            "lossy-cast" => entry.lossy_cast = n,
             other => return Err(format!("line {}: unknown key `{other}`", idx + 1)),
         }
     }
     Ok(out)
 }
 
-/// Renders a baseline map back to the canonical file format.
-pub fn render(baseline: &BTreeMap<String, PanicCounts>) -> String {
+/// Renders a baseline back to the canonical file format from the two
+/// measured tables (which cover the same crate set).
+pub fn render(
+    panic: &BTreeMap<String, PanicCounts>,
+    casts: &BTreeMap<String, CastCounts>,
+) -> String {
     let mut out = String::from(
-        "# Panic-surface baseline enforced by `cargo xtask lint`.\n\
+        "# Ratchet baselines enforced by the in-tree analyzer.\n\
          #\n\
-         # Counts cover `.unwrap()`, `.expect(` and panic!-family macros in\n\
-         # NON-TEST code, per crate. The ratchet only turns one way: a count\n\
-         # may drop (tighten it with `cargo xtask lint --write-ratchet`) but\n\
-         # any increase fails the lint. See DESIGN.md §9.\n",
+         # unwrap/expect/panic cover `.unwrap()`, `.expect(` and panic!-family\n\
+         # macros in NON-TEST code (`cargo xtask lint`); lossy-cast counts\n\
+         # potentially-lossy `as` casts (`cargo xtask audit`, DESIGN.md §12).\n\
+         # Each ratchet only turns one way: a count may drop (tighten with\n\
+         # `cargo xtask lint --all --write-ratchet`) but any increase fails.\n",
     );
-    for (name, counts) in baseline {
+    for (name, counts) in panic {
+        let lossy = casts.get(name).map(|c| c.lossy).unwrap_or(0);
         out.push_str(&format!(
-            "\n[crate.{name}]\nunwrap = {}\nexpect = {}\npanic = {}\n",
+            "\n[crate.{name}]\nunwrap = {}\nexpect = {}\npanic = {}\nlossy-cast = {lossy}\n",
             counts.unwrap, counts.expect, counts.panic
         ));
     }
     out
 }
 
-/// Compares measured counts against the baseline.
+/// Compares the measured panic surface against the baseline.
 ///
 /// Returns `(failures, improvements)`: failures are regressions or
 /// bookkeeping errors (unknown/missing crates) that must fail the lint;
 /// improvements are counts now below baseline, reported as a nudge to
 /// re-tighten.
 pub fn compare(
-    baseline: &BTreeMap<String, PanicCounts>,
+    baseline: &BTreeMap<String, BaselineCounts>,
     measured: &BTreeMap<String, PanicCounts>,
 ) -> (Vec<String>, Vec<String>) {
     let mut failures = Vec::new();
@@ -97,9 +117,9 @@ pub fn compare(
             continue;
         };
         for (kind, h, w) in [
-            ("unwrap", have.unwrap, want.unwrap),
-            ("expect", have.expect, want.expect),
-            ("panic", have.panic, want.panic),
+            ("unwrap", have.unwrap, want.panic.unwrap),
+            ("expect", have.expect, want.panic.expect),
+            ("panic", have.panic, want.panic.panic),
         ] {
             if h > w {
                 failures.push(format!(
@@ -125,6 +145,49 @@ pub fn compare(
     (failures, improvements)
 }
 
+/// Compares the measured lossy-cast counts against the baseline
+/// (`cargo xtask audit`). Same one-way contract as [`compare`].
+pub fn compare_lossy(
+    baseline: &BTreeMap<String, BaselineCounts>,
+    measured: &BTreeMap<String, CastCounts>,
+) -> (Vec<String>, Vec<String>) {
+    let mut failures = Vec::new();
+    let mut improvements = Vec::new();
+    for (name, have) in measured {
+        let Some(want) = baseline.get(name) else {
+            failures.push(format!(
+                "crate `{name}` is missing from xtask-ratchet.toml (found {} lossy casts); \
+                 add it with `cargo xtask audit --write-ratchet`",
+                have.lossy
+            ));
+            continue;
+        };
+        if have.lossy > want.lossy_cast {
+            failures.push(format!(
+                "crate `{name}`: lossy-cast count rose to {} (baseline {}); convert the new \
+                 casts to `try_from` or justify them with \
+                 `// xtask: allow(lossy-cast) — <invariant>`",
+                have.lossy, want.lossy_cast
+            ));
+        } else if have.lossy < want.lossy_cast {
+            improvements.push(format!(
+                "crate `{name}`: lossy-cast count is {}, below baseline {} — \
+                 tighten with `cargo xtask audit --write-ratchet`",
+                have.lossy, want.lossy_cast
+            ));
+        }
+    }
+    for name in baseline.keys() {
+        if !measured.contains_key(name) {
+            failures.push(format!(
+                "xtask-ratchet.toml lists crate `{name}` which is not in the workspace; \
+                 remove it with `cargo xtask audit --write-ratchet`"
+            ));
+        }
+    }
+    (failures, improvements)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -137,13 +200,39 @@ mod tests {
         }
     }
 
+    fn baseline(unwrap: usize, expect: usize, panic: usize, lossy: usize) -> BaselineCounts {
+        BaselineCounts {
+            panic: counts(unwrap, expect, panic),
+            lossy_cast: lossy,
+        }
+    }
+
+    fn lossy(n: usize) -> CastCounts {
+        CastCounts {
+            lossy: n,
+            ..CastCounts::default()
+        }
+    }
+
     #[test]
     fn parse_render_round_trips() {
-        let mut base = BTreeMap::new();
-        base.insert("core".to_string(), counts(3, 5, 1));
-        base.insert("sim".to_string(), counts(0, 4, 2));
-        let text = render(&base);
-        assert_eq!(parse(&text).expect("rendered file must parse"), base);
+        let mut panic = BTreeMap::new();
+        panic.insert("core".to_string(), counts(3, 5, 1));
+        panic.insert("sim".to_string(), counts(0, 4, 2));
+        let mut casts = BTreeMap::new();
+        casts.insert("core".to_string(), lossy(7));
+        casts.insert("sim".to_string(), lossy(0));
+        let text = render(&panic, &casts);
+        let parsed = parse(&text).expect("rendered file must parse");
+        assert_eq!(parsed["core"], baseline(3, 5, 1, 7));
+        assert_eq!(parsed["sim"], baseline(0, 4, 2, 0));
+    }
+
+    #[test]
+    fn parse_accepts_pre_audit_files_without_lossy_key() {
+        let parsed = parse("[crate.a]\nunwrap = 1\nexpect = 2\npanic = 0\n")
+            .expect("pre-audit files must stay parseable");
+        assert_eq!(parsed["a"], baseline(1, 2, 0, 0));
     }
 
     #[test]
@@ -158,8 +247,8 @@ mod tests {
     #[test]
     fn compare_flags_regressions_and_improvements() {
         let mut base = BTreeMap::new();
-        base.insert("a".to_string(), counts(2, 2, 0));
-        base.insert("gone".to_string(), counts(0, 0, 0));
+        base.insert("a".to_string(), baseline(2, 2, 0, 0));
+        base.insert("gone".to_string(), baseline(0, 0, 0, 0));
         let mut measured = BTreeMap::new();
         measured.insert("a".to_string(), counts(3, 1, 0));
         measured.insert("new".to_string(), counts(0, 0, 0));
@@ -174,5 +263,24 @@ mod tests {
         assert!(failures.iter().any(|f| f.contains("not in the workspace")));
         assert_eq!(improvements.len(), 1);
         assert!(improvements[0].contains("expect count is 1"));
+    }
+
+    #[test]
+    fn compare_lossy_flags_regressions_and_improvements() {
+        let mut base = BTreeMap::new();
+        base.insert("a".to_string(), baseline(0, 0, 0, 5));
+        base.insert("b".to_string(), baseline(0, 0, 0, 2));
+        base.insert("gone".to_string(), baseline(0, 0, 0, 0));
+        let mut measured = BTreeMap::new();
+        measured.insert("a".to_string(), lossy(6));
+        measured.insert("b".to_string(), lossy(1));
+        measured.insert("new".to_string(), lossy(0));
+        let (failures, improvements) = compare_lossy(&base, &measured);
+        assert_eq!(failures.len(), 3, "{failures:?}");
+        assert!(failures
+            .iter()
+            .any(|f| f.contains("lossy-cast count rose to 6")));
+        assert_eq!(improvements.len(), 1);
+        assert!(improvements[0].contains("lossy-cast count is 1"));
     }
 }

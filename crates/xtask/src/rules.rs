@@ -8,7 +8,7 @@
 //! `// xtask: allow(<rule>) — <reason>` comment on the same line or the
 //! line directly above (see [`crate::scan::allow_directive`]).
 
-use crate::scan::{allow_directive, scan, ScannedLine};
+use crate::scan::{allow_covers, scan, ScannedLine};
 
 /// Names of the determinism rules, as used in allow comments and
 /// diagnostics.
@@ -23,6 +23,15 @@ pub const RULE_EXPECT_MESSAGE: &str = "expect-message";
 pub const RULE_HOT_LOOP_ALLOC: &str = "hot-loop-alloc";
 /// Rule name for oversized bench binaries (must stay registry shims).
 pub const RULE_THIN_BENCH_BIN: &str = "thin-bench-bin";
+/// Rule name for potentially-lossy numeric `as` casts (`cargo xtask
+/// audit`; ratcheted per crate, see [`crate::casts`]).
+pub const RULE_LOSSY_CAST: &str = "lossy-cast";
+/// Rule name for `unsafe` without a `// SAFETY:` justification
+/// (`cargo xtask audit`; hard rule outside `crates/compat`).
+pub const RULE_UNSAFE_SOUNDNESS: &str = "unsafe-soundness";
+/// Rule name for inter-crate dependency edges that violate the layer
+/// graph committed in `xtask-layers.toml` (`cargo xtask audit`).
+pub const RULE_LAYERING: &str = "layering";
 
 /// Raw-comment marker opening a hot-loop region (e.g. the simulator's
 /// cycle loop): until the matching end marker, allocating calls are
@@ -195,14 +204,9 @@ pub fn analyze_source(source: &str, deterministic: bool, test_file: bool) -> Fil
 }
 
 /// Whether line `idx` (or a comment-only line directly above) carries a
-/// valid allow comment for `rule`. A *trailing* comment only covers its
-/// own line, so one allow never silently blankets the statement below.
+/// valid allow comment for `rule` (see [`crate::scan::allow_covers`]).
 fn allowed(lines: &[ScannedLine], idx: usize, rule: &str) -> bool {
-    let hit = |l: &ScannedLine| allow_directive(&l.raw).is_some_and(|(r, _)| r == rule);
-    if hit(&lines[idx]) {
-        return true;
-    }
-    idx > 0 && lines[idx - 1].code.trim().is_empty() && hit(&lines[idx - 1])
+    allow_covers(lines, idx, rule)
 }
 
 /// Whether the argument starting at `col` of raw line `idx` (just after
@@ -296,6 +300,18 @@ mod tests {
         let a = analyze_source(src, true, false);
         assert_eq!(a.violations.len(), 1, "only the unannotated line fires");
         assert_eq!(a.violations[0].line, 2);
+    }
+
+    #[test]
+    fn multi_rule_allow_comment_suppresses_each_listed_rule() {
+        // Regression: `allow(a, b)` used to be matched as the single
+        // rule name "a, b" and suppressed nothing.
+        let src = "let m = HashMap::new(); // xtask: allow(lossy-cast, hash-collections) — sorted before iteration";
+        assert!(analyze_source(src, true, false).violations.is_empty());
+        // ...but an unlisted rule still fires.
+        let src =
+            "let t = Instant::now(); // xtask: allow(lossy-cast, hash-collections) — wrong rules";
+        assert_eq!(analyze_source(src, true, false).violations.len(), 1);
     }
 
     #[test]

@@ -232,23 +232,38 @@ fn is_test_attribute_line(code: &str) -> bool {
         || compact.contains("#[cfg(any(test")
 }
 
-/// Parses an `xtask: allow(<rule>) — <reason>` escape hatch out of a raw
-/// source line. Returns the rule name when the line carries a
-/// well-formed allow for any rule, together with its reason; the caller
-/// matches the rule. A missing or empty reason makes the allow invalid
-/// (returns `None`) — every suppression must say *why*.
-pub fn allow_directive(raw: &str) -> Option<(&str, &str)> {
+/// Parses an `xtask: allow(<rule>[, <rule>...]) — <reason>` escape
+/// hatch out of a raw source line. Returns the rule names when the line
+/// carries a well-formed allow, together with its reason; the caller
+/// matches against the list. A directive may suppress several rules at
+/// once (`allow(lossy-cast, hash-collections)`). A missing or empty
+/// reason, or an empty rule entry, makes the allow invalid (returns
+/// `None`) — every suppression must say *why*.
+pub fn allow_directive(raw: &str) -> Option<(Vec<&str>, &str)> {
     let at = raw.find("xtask: allow(")?;
     let rest = &raw[at + "xtask: allow(".len()..];
     let close = rest.find(')')?;
-    let rule = rest[..close].trim();
+    let rules: Vec<&str> = rest[..close].split(',').map(str::trim).collect();
     let reason = rest[close + 1..]
         .trim_start_matches([' ', '\t', '-', '—', ':', '–'])
         .trim();
-    if rule.is_empty() || !reason.chars().any(|c| c.is_alphanumeric()) {
+    if rules.iter().any(|r| r.is_empty()) || !reason.chars().any(|c| c.is_alphanumeric()) {
         return None;
     }
-    Some((rule, reason))
+    Some((rules, reason))
+}
+
+/// Whether line `idx` (or a comment-only line directly above) carries a
+/// valid allow comment covering `rule`. A *trailing* comment only
+/// covers its own line, so one allow never silently blankets the
+/// statement below.
+pub fn allow_covers(lines: &[ScannedLine], idx: usize, rule: &str) -> bool {
+    let hit =
+        |l: &ScannedLine| allow_directive(&l.raw).is_some_and(|(rules, _)| rules.contains(&rule));
+    if hit(&lines[idx]) {
+        return true;
+    }
+    idx > 0 && lines[idx - 1].code.trim().is_empty() && hit(&lines[idx - 1])
 }
 
 #[cfg(test)]
@@ -306,10 +321,31 @@ mod tests {
     fn allow_directive_requires_a_reason() {
         assert_eq!(
             allow_directive("x // xtask: allow(wall-clock) — progress text"),
-            Some(("wall-clock", "progress text"))
+            Some((vec!["wall-clock"], "progress text"))
         );
         assert_eq!(allow_directive("x // xtask: allow(wall-clock)"), None);
         assert_eq!(allow_directive("x // xtask: allow(wall-clock) — "), None);
         assert_eq!(allow_directive("plain line"), None);
+    }
+
+    #[test]
+    fn allow_directive_parses_multiple_rules() {
+        assert_eq!(
+            allow_directive("x // xtask: allow(lossy-cast, hash-collections) — both justified"),
+            Some((vec!["lossy-cast", "hash-collections"], "both justified"))
+        );
+        // An empty entry in the list invalidates the whole directive.
+        assert_eq!(
+            allow_directive("x // xtask: allow(lossy-cast,) — reason"),
+            None
+        );
+    }
+
+    #[test]
+    fn allow_covers_matches_any_listed_rule() {
+        let lines = scan("let x = 1; // xtask: allow(lossy-cast, wall-clock) — shared reason");
+        assert!(allow_covers(&lines, 0, "lossy-cast"));
+        assert!(allow_covers(&lines, 0, "wall-clock"));
+        assert!(!allow_covers(&lines, 0, "ambient-rng"));
     }
 }

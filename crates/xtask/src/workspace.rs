@@ -10,6 +10,7 @@ use std::collections::BTreeMap;
 use std::fs;
 use std::path::{Path, PathBuf};
 
+use crate::casts::{analyze_casts, CastCounts};
 use crate::ratchet;
 use crate::rules::{analyze_source, PanicCounts, Violation};
 
@@ -201,6 +202,10 @@ pub struct LintReport {
     pub violations: Vec<(String, Violation)>,
     /// Measured non-test panic-surface per crate.
     pub counts: BTreeMap<String, PanicCounts>,
+    /// Measured non-test cast tallies per crate (the lossy portion is
+    /// ratcheted by `cargo xtask audit`; measured here so
+    /// `--write-ratchet` renders the complete baseline in one pass).
+    pub cast_counts: BTreeMap<String, CastCounts>,
     /// Counts now below the committed baseline (nudges, not failures).
     pub improvements: Vec<String>,
 }
@@ -286,25 +291,31 @@ pub fn run_lint(root: &Path, write_ratchet: bool) -> Result<LintReport, String> 
             }
         }
 
-        // Per-file rules and panic counting.
+        // Per-file rules, panic counting, and cast tallies.
         let mut crate_counts = PanicCounts::default();
+        let mut crate_casts = CastCounts::default();
         for (path, test_file) in rust_files(krate)? {
             let src = fs::read_to_string(&path).map_err(|e| format!("{}: {e}", path.display()))?;
             let analysis = analyze_source(&src, krate.deterministic, test_file);
             crate_counts.add(analysis.counts);
+            crate_casts.add(analyze_casts(&src, test_file).counts);
             let display = rel_display(root, &path);
             for v in analysis.violations {
                 report.violations.push((display.clone(), v));
             }
         }
         report.counts.insert(krate.name.clone(), crate_counts);
+        report.cast_counts.insert(krate.name.clone(), crate_casts);
     }
 
     // Panic-surface ratchet.
     let ratchet_path = root.join(RATCHET_FILE);
     if write_ratchet {
-        fs::write(&ratchet_path, ratchet::render(&report.counts))
-            .map_err(|e| format!("{}: {e}", ratchet_path.display()))?;
+        fs::write(
+            &ratchet_path,
+            ratchet::render(&report.counts, &report.cast_counts),
+        )
+        .map_err(|e| format!("{}: {e}", ratchet_path.display()))?;
     } else {
         match fs::read_to_string(&ratchet_path) {
             Ok(text) => {

@@ -1,0 +1,1 @@
+//! Fixture crate: empty body; only the manifest matters.
