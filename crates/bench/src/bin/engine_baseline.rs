@@ -3,17 +3,21 @@
 //! Runs a fixed, fully deterministic saturation workload per scale and
 //! reports the cycle engine's throughput (simulated cycles per wall
 //! second) plus the one-time setup costs (routing-table and ECMP
-//! candidate-table build times). The numbers land in `BENCH_sim.json`
-//! at the repo root — the committed perf trajectory every engine PR
-//! must move (or at least not regress); see DESIGN.md §10.
+//! candidate-table build times). Each scale is measured at several
+//! shard counts (`--shards`); sharding is a pure speed knob — results
+//! are byte-identical, which this binary asserts on every run. The
+//! numbers land in `BENCH_sim.json` at the repo root — the committed
+//! perf trajectory every engine PR must move (or at least not regress);
+//! see DESIGN.md §10 and §13.
 //!
 //! Usage:
 //!
 //! ```text
-//! cargo run --release -p rfc-bench --bin engine_baseline            # both scales -> BENCH_sim.json
+//! cargo run --release -p rfc-bench --bin engine_baseline            # all scales -> BENCH_sim.json
 //! cargo run --release -p rfc-bench --bin engine_baseline -- --scale small
 //! cargo run --release -p rfc-bench --bin engine_baseline -- --scale small \
-//!     --check BENCH_sim.json --out target/BENCH_sim.json            # CI smoke: >2x regression fails
+//!     --shards 1,2 --check BENCH_sim.json --out target/BENCH_sim.json
+//!                                                                   # CI smoke: >2x regression fails
 //! ```
 //!
 //! The workload itself is scale-keyed (CFT topology, uniform traffic at
@@ -21,6 +25,15 @@
 //! are comparable across commits on the same hardware class. An
 //! existing `"trajectory"` array in the output file is preserved
 //! verbatim, so the before/after history survives regeneration.
+//!
+//! The `--check` regression gate applies to `small` and `medium` only
+//! (the `large` scale — 100K+ terminals — is report-only: big enough
+//! that a loaded CI host would flake the 2x budget). For each measured
+//! shard count the gate compares against the committed
+//! `sharded_cycles_per_sec` entry, falling back to the scale's
+//! top-level (serial) `cycles_per_sec` for 1 shard; shard counts with
+//! no committed value are noted and skipped rather than failed, so new
+//! shard counts can be introduced without a chicken-and-egg problem.
 
 use std::process::ExitCode;
 
@@ -36,8 +49,12 @@ struct Workload {
     levels: usize,
     warmup: u64,
     measure: u64,
-    /// Timed engine runs; the fastest is reported.
+    /// Timed engine runs per shard count; the fastest is reported.
     runs: usize,
+    /// Shard counts measured by default (overridable with `--shards`).
+    shard_counts: &'static [usize],
+    /// Whether `--check` gates this scale against the committed file.
+    gate: bool,
 }
 
 const SMALL: Workload = Workload {
@@ -47,6 +64,8 @@ const SMALL: Workload = Workload {
     warmup: 300,
     measure: 1_000,
     runs: 5,
+    shard_counts: &[1, 2],
+    gate: true,
 };
 
 const MEDIUM: Workload = Workload {
@@ -56,6 +75,23 @@ const MEDIUM: Workload = Workload {
     warmup: 1_000,
     measure: 4_000,
     runs: 3,
+    shard_counts: &[1, 4, 8],
+    gate: true,
+};
+
+/// The "large" scale: cft(36, 4) = 209,952 terminals on 40,824
+/// radix-36 switches — past the candidate-table budget, so this also
+/// exercises the live-oracle path. Short window: one cycle here touches
+/// ~200x the state of a medium cycle.
+const LARGE: Workload = Workload {
+    name: "large",
+    radix: 36,
+    levels: 4,
+    warmup: 100,
+    measure: 300,
+    runs: 1,
+    shard_counts: &[1, 4, 8],
+    gate: false,
 };
 
 /// Fixed seed: the baseline is a benchmark, not an experiment; one
@@ -65,10 +101,14 @@ const SEED: u64 = 2017;
 /// Measured numbers for one scale.
 struct Measurement {
     name: &'static str,
+    gate: bool,
     terminals: usize,
     switches: usize,
     cycles: u64,
+    /// Serial (1-shard) throughput — the historical headline number.
     cycles_per_sec: f64,
+    /// (shard count, cycles/sec), in measured order.
+    sharded: Vec<(usize, f64)>,
     routing_build_ms: f64,
     table_build_ms: f64,
     accepted_load: f64,
@@ -81,7 +121,7 @@ fn now() -> std::time::Instant {
     std::time::Instant::now()
 }
 
-fn measure(w: &Workload) -> Measurement {
+fn measure(w: &Workload, shard_counts: &[usize]) -> Measurement {
     let clos = match FoldedClos::cft(w.radix, w.levels) {
         Ok(c) => c,
         Err(e) => {
@@ -103,37 +143,73 @@ fn measure(w: &Workload) -> Measurement {
     let sim = Simulation::new(&net, &routing, cfg);
     let table_build_ms = t1.elapsed().as_secs_f64() * 1e3;
 
-    let mut scratch = rfc_net::sim::RunScratch::new();
-    let mut best = f64::INFINITY;
-    let mut accepted = 0.0;
-    for _ in 0..w.runs {
-        let t = now();
-        let r = sim.run_scratch(TrafficPattern::Uniform, 1.0, SEED, &mut scratch);
-        let secs = t.elapsed().as_secs_f64();
-        best = best.min(secs);
-        accepted = r.accepted_load;
-    }
     let cycles = cfg.total_cycles();
+    let mut scratch = rfc_net::sim::RunScratch::new();
+    let mut sharded = Vec::new();
+    let mut serial = f64::NAN;
+    let mut accepted: Option<f64> = None;
+    for &shards in shard_counts {
+        let mut best = f64::INFINITY;
+        for _ in 0..w.runs {
+            let t = now();
+            let r =
+                sim.run_sharded_scratch(TrafficPattern::Uniform, 1.0, SEED, shards, &mut scratch);
+            best = best.min(t.elapsed().as_secs_f64());
+            // The sharding contract, enforced on every benchmark run:
+            // the shard count must not move the physics.
+            match accepted {
+                None => accepted = Some(r.accepted_load),
+                Some(a) => assert!(
+                    (a - r.accepted_load).abs() < f64::EPSILON,
+                    "{}: accepted_load moved with the shard count: {a} vs {} at {shards} shards",
+                    w.name,
+                    r.accepted_load,
+                ),
+            }
+        }
+        let cps = cycles as f64 / best;
+        if shards == 1 {
+            serial = cps;
+        }
+        sharded.push((shards, cps));
+    }
+    if serial.is_nan() {
+        // `--shards` without 1: keep the headline slot meaningful by
+        // using the slowest measured count.
+        serial = sharded
+            .iter()
+            .map(|&(_, c)| c)
+            .fold(f64::INFINITY, f64::min);
+    }
     Measurement {
         name: w.name,
+        gate: w.gate,
         terminals: net.num_terminals(),
         switches: net.num_switches(),
         cycles,
-        cycles_per_sec: cycles as f64 / best,
+        cycles_per_sec: serial,
+        sharded,
         routing_build_ms,
         table_build_ms,
-        accepted_load: accepted,
+        accepted_load: accepted.unwrap_or(f64::NAN),
     }
 }
 
 fn render_scale(m: &Measurement) -> String {
+    let sharded = m
+        .sharded
+        .iter()
+        .map(|(s, c)| format!("\"{s}\": {c:.0}"))
+        .collect::<Vec<_>>()
+        .join(", ");
     format!(
-        "    \"{}\": {{\n      \"topology\": \"cft\",\n      \"terminals\": {},\n      \"switches\": {},\n      \"cycles\": {},\n      \"offered_load\": 1.0,\n      \"cycles_per_sec\": {:.0},\n      \"routing_build_ms\": {:.3},\n      \"table_build_ms\": {:.3},\n      \"accepted_load\": {:.4}\n    }}",
+        "    \"{}\": {{\n      \"topology\": \"cft\",\n      \"terminals\": {},\n      \"switches\": {},\n      \"cycles\": {},\n      \"offered_load\": 1.0,\n      \"cycles_per_sec\": {:.0},\n      \"sharded_cycles_per_sec\": {{ {} }},\n      \"routing_build_ms\": {:.3},\n      \"table_build_ms\": {:.3},\n      \"accepted_load\": {:.4}\n    }}",
         m.name,
         m.terminals,
         m.switches,
         m.cycles,
         m.cycles_per_sec,
+        sharded,
         m.routing_build_ms,
         m.table_build_ms,
         m.accepted_load,
@@ -150,17 +226,44 @@ fn preserved_trajectory(previous: &str) -> Option<String> {
     Some(previous[open..=close].to_string())
 }
 
-/// Reads `"cycles_per_sec"` out of the named scale object of a baseline
-/// file.
-fn committed_cycles_per_sec(text: &str, scale: &str) -> Option<f64> {
-    let at = text.find(&format!("\"{scale}\""))?;
-    let key = text[at..].find("\"cycles_per_sec\"")? + at;
-    let colon = text[key..].find(':')? + key;
+/// Reads the number following `"key":` starting at byte `from` of
+/// `text`.
+fn number_after(text: &str, from: usize, key: &str) -> Option<f64> {
+    let at = text[from..].find(key)? + from;
+    let colon = text[at..].find(':')? + at;
     let rest = text[colon + 1..].trim_start();
     let end = rest
         .find(|c: char| !(c.is_ascii_digit() || c == '.' || c == '-'))
         .unwrap_or(rest.len());
     rest[..end].parse().ok()
+}
+
+/// Reads `"cycles_per_sec"` out of the named scale object of a baseline
+/// file.
+fn committed_cycles_per_sec(text: &str, scale: &str) -> Option<f64> {
+    let at = text.find(&format!("\"{scale}\""))?;
+    number_after(text, at, "\"cycles_per_sec\"")
+}
+
+/// Reads the committed throughput for one shard count of one scale:
+/// the `"N": value` entry of the scale's `sharded_cycles_per_sec` map,
+/// falling back to the scale's serial `cycles_per_sec` for 1 shard
+/// (pre-sharding baseline files only carry the latter).
+fn committed_sharded(text: &str, scale: &str, shards: usize) -> Option<f64> {
+    let at = text.find(&format!("\"{scale}\""))?;
+    let sharded = text[at..]
+        .find("\"sharded_cycles_per_sec\"")
+        .map(|o| o + at);
+    let from_map = sharded.and_then(|s| {
+        let open = text[s..].find('{')? + s;
+        let close = text[open..].find('}')? + open;
+        number_after(&text[..close], open, &format!("\"{shards}\""))
+    });
+    match from_map {
+        Some(v) => Some(v),
+        None if shards == 1 => committed_cycles_per_sec(text, scale),
+        None => None,
+    }
 }
 
 fn repo_root() -> std::path::PathBuf {
@@ -181,6 +284,7 @@ fn main() -> ExitCode {
     let mut out: Option<String> = None;
     let mut check: Option<String> = None;
     let mut threads: Option<usize> = None;
+    let mut shards_override: Option<Vec<usize>> = None;
     let mut it = args.iter();
     while let Some(arg) = it.next() {
         let mut value = |name: &str| match it.next() {
@@ -195,10 +299,26 @@ fn main() -> ExitCode {
             "--out" => out = Some(value("--out")),
             "--check" => check = Some(value("--check")),
             "--threads" => threads = value("--threads").parse().ok(),
+            "--shards" => {
+                let list = value("--shards");
+                let parsed: Result<Vec<usize>, _> =
+                    list.split(',').map(|s| s.trim().parse()).collect();
+                match parsed {
+                    Ok(v) if !v.is_empty() && v.iter().all(|&s| s >= 1) => {
+                        shards_override = Some(v);
+                    }
+                    _ => {
+                        eprintln!(
+                            "error: --shards wants a comma list of counts >= 1, got `{list}`"
+                        );
+                        return ExitCode::from(2);
+                    }
+                }
+            }
             _ => {
                 eprintln!(
-                    "usage: engine_baseline [--scale small|medium] [--out PATH] \
-                     [--check BASELINE] [--threads N]"
+                    "usage: engine_baseline [--scale small|medium|large] [--out PATH] \
+                     [--check BASELINE] [--threads N] [--shards N,N,...]"
                 );
                 return ExitCode::from(2);
             }
@@ -209,11 +329,12 @@ fn main() -> ExitCode {
     }
 
     let workloads: Vec<&Workload> = match scale.as_deref() {
-        None => vec![&SMALL, &MEDIUM],
+        None => vec![&SMALL, &MEDIUM, &LARGE],
         Some("small") => vec![&SMALL],
         Some("medium") => vec![&MEDIUM],
+        Some("large") => vec![&LARGE],
         Some(other) => {
-            eprintln!("error: unknown scale `{other}` (small|medium)");
+            eprintln!("error: unknown scale `{other}` (small|medium|large)");
             return ExitCode::from(2);
         }
     };
@@ -221,45 +342,59 @@ fn main() -> ExitCode {
     let mut rendered = Vec::new();
     let mut failed = false;
     for w in &workloads {
-        let m = measure(w);
+        let shard_counts: &[usize] = shards_override.as_deref().unwrap_or(w.shard_counts);
+        let m = measure(w, shard_counts);
+        let sharded_report = m
+            .sharded
+            .iter()
+            .map(|(s, c)| format!("{s} shard{}: {c:.0} c/s", if *s == 1 { "" } else { "s" }))
+            .collect::<Vec<_>>()
+            .join(", ");
         eprintln!(
-            "# {}: {} terminals, {} cycles: {:.0} cycles/sec \
+            "# {}: {} terminals, {} cycles: {sharded_report} \
              (routing build {:.1} ms, table build {:.1} ms, accepted {:.3})",
-            m.name,
-            m.terminals,
-            m.cycles,
-            m.cycles_per_sec,
-            m.routing_build_ms,
-            m.table_build_ms,
-            m.accepted_load,
+            m.name, m.terminals, m.cycles, m.routing_build_ms, m.table_build_ms, m.accepted_load,
         );
         if let Some(path) = &check {
-            match std::fs::read_to_string(path) {
-                Ok(text) => match committed_cycles_per_sec(&text, m.name) {
-                    Some(committed) => {
-                        let floor = committed / 2.0;
-                        if m.cycles_per_sec < floor {
-                            eprintln!(
-                                "error: {} cycles/sec {:.0} is a >2x regression vs the \
-                                 committed {:.0} (floor {:.0})",
-                                m.name, m.cycles_per_sec, committed, floor
-                            );
-                            failed = true;
-                        } else {
-                            eprintln!(
-                                "# {} within budget: {:.0} vs committed {:.0} (floor {:.0})",
-                                m.name, m.cycles_per_sec, committed, floor
-                            );
+            if !m.gate {
+                eprintln!("# {}: report-only scale, --check skipped", m.name);
+            } else {
+                match std::fs::read_to_string(path) {
+                    Ok(text) => {
+                        for &(shards, cps) in &m.sharded {
+                            match committed_sharded(&text, m.name, shards) {
+                                Some(committed) => {
+                                    let floor = committed / 2.0;
+                                    if cps < floor {
+                                        eprintln!(
+                                            "error: {} at {shards} shard(s): {cps:.0} cycles/sec \
+                                             is a >2x regression vs the committed {committed:.0} \
+                                             (floor {floor:.0})",
+                                            m.name
+                                        );
+                                        failed = true;
+                                    } else {
+                                        eprintln!(
+                                            "# {} at {shards} shard(s) within budget: {cps:.0} vs \
+                                             committed {committed:.0} (floor {floor:.0})",
+                                            m.name
+                                        );
+                                    }
+                                }
+                                None => {
+                                    eprintln!(
+                                        "# {} has no committed number for {shards} shard(s) in \
+                                         {path}; gate skipped for this count",
+                                        m.name
+                                    );
+                                }
+                            }
                         }
                     }
-                    None => {
-                        eprintln!("error: no `{}` cycles_per_sec in {path}", m.name);
+                    Err(e) => {
+                        eprintln!("error: cannot read baseline {path}: {e}");
                         failed = true;
                     }
-                },
-                Err(e) => {
-                    eprintln!("error: cannot read baseline {path}: {e}");
-                    failed = true;
                 }
             }
         }

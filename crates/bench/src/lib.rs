@@ -18,6 +18,12 @@
 //! * `RFC_THREADS` — worker threads for the parallel sweep/trial stages
 //!   (default: all cores; see [`rfc_net::parallel`]). Results are
 //!   identical at any thread count.
+//! * `RFC_SHARDS` — shards per simulation run: each run's switches are
+//!   partitioned across this many lockstep workers (default: 1; see
+//!   [`rfc_net::parallel::current_shards`]). Results are byte-identical
+//!   at any shard count. Threads parallelize *across* runs, shards
+//!   *within* one — for a sweep of many runs prefer threads; for one
+//!   big run, shards.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]

@@ -71,6 +71,10 @@ pub fn run(argv: &[String], out: &mut dyn std::io::Write) -> Result<(), CliError
     // Common flag: worker threads for parallel stages (overrides the
     // RFC_THREADS environment variable; default: all cores).
     rfc_net::parallel::set_threads(parsed.opt_num::<usize>("threads")?);
+    // Common flag: shards per simulation run (overrides the RFC_SHARDS
+    // environment variable; default: 1). Results are byte-identical at
+    // any shard count, so this is purely a speed knob.
+    rfc_net::parallel::set_shards(parsed.opt_num::<usize>("shards")?);
     match command.as_str() {
         "generate" => commands::generate(&parsed, out),
         "analyze" => commands::analyze(&parsed, out),
@@ -114,6 +118,10 @@ COMMON FLAGS:
     --threads   worker threads for parallel stages    (default: RFC_THREADS
                 environment variable, else all cores; results are identical
                 at any thread count)
+    --shards    shards per simulation run: the switches are partitioned
+                into N contiguous shards advanced by N workers in lockstep
+                (default: RFC_SHARDS environment variable, else 1; results
+                are byte-identical at any shard count)
 
 TOPOLOGY FLAGS (generate/analyze/simulate/expand):
     --kind      rfc | cft | oft | kary | rrn        (default rfc)
@@ -279,6 +287,23 @@ mod tests {
         };
         rfc_net::parallel::set_threads(None);
         assert_eq!(one, four);
+    }
+
+    #[test]
+    fn simulate_output_is_identical_at_any_shard_count() {
+        let base = &[
+            "simulate", "--kind", "cft", "--radix", "6", "--levels", "3", "--load", "0.5",
+            "--cycles", "500", "--warmup", "100",
+        ];
+        let at = |shards: &str| {
+            let mut argv: Vec<&str> = base.to_vec();
+            argv.extend_from_slice(&["--shards", shards]);
+            run_capture(&argv).unwrap()
+        };
+        let one = at("1");
+        let four = at("4");
+        rfc_net::parallel::set_shards(None);
+        assert_eq!(one, four, "simulate output moved with the shard count");
     }
 
     #[test]

@@ -77,6 +77,9 @@ impl Bencher {
     /// Times `routine`, first sizing an inner iteration count so one
     /// sample is long enough to measure, then taking the configured
     /// number of samples and keeping the median.
+    // Wall-clock is the entire point of a benchmark harness; timings
+    // are reported to the user, never fed into simulation results.
+    #[allow(clippy::disallowed_methods)]
     pub fn iter<O, F: FnMut() -> O>(&mut self, mut routine: F) {
         // Size the inner loop: grow until one batch takes >= 2 ms (or a
         // single iteration is already far beyond that).

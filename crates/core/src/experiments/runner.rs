@@ -445,6 +445,12 @@ fn write_manifest(
             "threads".into(),
             Json::Uint(crate::parallel::current_threads() as u64),
         ),
+        // Provenance only: like `threads`, the shard count cannot change
+        // any result, so it is recorded here but kept out of `run_id`.
+        (
+            "shards".into(),
+            Json::Uint(crate::parallel::current_shards() as u64),
+        ),
         ("sim".into(), sim_to_json(&opts.sim)),
         ("wall_seconds".into(), Json::Num(wall_seconds)),
         ("experiments".into(), Json::Arr(records)),

@@ -114,6 +114,68 @@ fn bisection_points_are_thread_count_invariant() {
     assert_eq!(points.len(), 4);
 }
 
+/// Runs `f` once at 1 shard and once at `shards`, asserting equal
+/// results. Shares [`OVERRIDE_LOCK`] with the thread tests because the
+/// shard override is equally process-wide.
+fn assert_shard_invariant<T: PartialEq + std::fmt::Debug>(shards: usize, f: impl Fn() -> T) -> T {
+    let _guard = OVERRIDE_LOCK.lock().unwrap();
+    parallel::set_shards(Some(1));
+    let serial = f();
+    parallel::set_shards(Some(shards));
+    let sharded = f();
+    parallel::set_shards(None);
+    assert_eq!(
+        serial, sharded,
+        "results changed between 1 and {shards} shards"
+    );
+    serial
+}
+
+#[test]
+fn simfig_points_are_shard_count_invariant() {
+    // The in-run parallelism analogue of the thread test above: every
+    // simulator call inside the driver splits its network across
+    // shards, and nothing downstream may move.
+    let mut rng = StdRng::seed_from_u64(88);
+    let scenario = equal_resources(Scale::Small, &mut rng).unwrap();
+    let mut cfg = SimConfig::quick();
+    cfg.warmup_cycles = 100;
+    cfg.measure_cycles = 400;
+    let points = assert_shard_invariant(4, || {
+        simfig::run(
+            &scenario,
+            &[TrafficPattern::Uniform, TrafficPattern::Shuffle],
+            &[0.2, 0.9],
+            cfg,
+            2017,
+        )
+    });
+    assert_eq!(points.len(), scenario.nets.len() * 2 * 2);
+}
+
+#[test]
+fn report_text_is_byte_identical_across_shard_counts() {
+    let mut rng = StdRng::seed_from_u64(9);
+    let scenario = equal_resources(Scale::Small, &mut rng).unwrap();
+    let prepared = PreparedScenario::prepare(scenario);
+    let mut cfg = SimConfig::quick();
+    cfg.warmup_cycles = 100;
+    cfg.measure_cycles = 300;
+    let render = || {
+        simfig::report(
+            &prepared,
+            &[TrafficPattern::Uniform],
+            &[0.3, 0.7],
+            cfg,
+            5,
+            "determinism-check",
+        )
+        .unwrap()
+        .to_text()
+    };
+    assert_shard_invariant(8, render);
+}
+
 #[test]
 fn report_text_is_byte_identical_across_thread_counts() {
     // End to end: the rendered report (what `write_csv` serializes) must

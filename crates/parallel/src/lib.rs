@@ -38,7 +38,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
-use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::Mutex;
 
 /// Chunk size for work claiming: workers grab jobs in batches of this
@@ -78,6 +78,142 @@ pub fn current_threads() -> usize {
     std::thread::available_parallelism()
         .map(std::num::NonZeroUsize::get)
         .unwrap_or(1)
+}
+
+/// Process-wide shard-count override; 0 means "not set".
+static SHARD_OVERRIDE: AtomicUsize = AtomicUsize::new(0);
+
+/// Overrides the intra-run shard count for subsequent simulator runs.
+///
+/// `Some(0)` is treated as unset. This is what `rfcgen --shards` and the
+/// bench binaries call; it takes precedence over `RFC_SHARDS`.
+pub fn set_shards(n: Option<usize>) {
+    SHARD_OVERRIDE.store(n.unwrap_or(0), Ordering::Relaxed);
+}
+
+/// The shard count a simulator run started right now will use.
+///
+/// Resolution order: [`set_shards`] override, `RFC_SHARDS` environment
+/// variable, then 1 (serial). Unlike [`current_threads`] the default is
+/// *not* the machine's core count: shards parallelize *inside* one run,
+/// while [`map`] already parallelizes *across* runs, and defaulting both
+/// to all cores would oversubscribe every sweep. Results are identical
+/// at any shard count, so this is purely a performance knob.
+pub fn current_shards() -> usize {
+    let forced = SHARD_OVERRIDE.load(Ordering::Relaxed);
+    if forced > 0 {
+        return forced;
+    }
+    if let Ok(v) = std::env::var("RFC_SHARDS") {
+        if let Ok(n) = v.trim().parse::<usize>() {
+            if n > 0 {
+                return n;
+            }
+        }
+    }
+    1
+}
+
+/// A sense-reversing spin barrier for cycle-lockstep shard workers.
+///
+/// The simulator's sharded engine crosses a barrier twice per simulated
+/// cycle (after stepping, after draining mailboxes). At thousands to
+/// millions of cycles per run, `std::sync::Barrier`'s mutex+condvar
+/// round trip dominates; this barrier is two atomics and a bounded spin,
+/// which is what makes fine-grained lockstep sharding profitable at all.
+///
+/// Waiters spin on a generation counter with [`std::hint::spin_loop`]
+/// for a short burst — long enough to cover an on-time peer on another
+/// core — then fall back to [`std::thread::yield_now`] on every further
+/// iteration, so oversubscribed configurations (more shards than cores)
+/// degrade to scheduler-cooperative waiting instead of burning a core
+/// per blocked party.
+#[derive(Debug)]
+pub struct SpinBarrier {
+    parties: usize,
+    arrived: AtomicUsize,
+    generation: AtomicU64,
+}
+
+impl SpinBarrier {
+    /// A barrier for `parties` participating threads (must be ≥ 1).
+    #[must_use]
+    pub fn new(parties: usize) -> Self {
+        assert!(parties >= 1, "a barrier needs at least one party");
+        SpinBarrier {
+            parties,
+            arrived: AtomicUsize::new(0),
+            generation: AtomicU64::new(0),
+        }
+    }
+
+    /// Blocks until all `parties` threads have called `wait` for the
+    /// current generation.
+    ///
+    /// Release/Acquire pairing on both atomics makes every write a
+    /// thread performed before the barrier visible to every thread
+    /// after it, which is what the mailbox exchange relies on.
+    pub fn wait(&self) {
+        if self.parties == 1 {
+            return;
+        }
+        let gen = self.generation.load(Ordering::Acquire);
+        if self.arrived.fetch_add(1, Ordering::AcqRel) + 1 == self.parties {
+            // Last arrival: reset the count for the next generation,
+            // then release everyone by bumping the generation.
+            self.arrived.store(0, Ordering::Relaxed);
+            self.generation.fetch_add(1, Ordering::Release);
+            return;
+        }
+        let mut spins: u32 = 0;
+        while self.generation.load(Ordering::Acquire) == gen {
+            if spins < 128 {
+                spins += 1;
+                std::hint::spin_loop();
+            } else {
+                std::thread::yield_now();
+            }
+        }
+    }
+}
+
+/// Runs one scoped worker thread per element of `states`, passing each
+/// worker its index and exclusive `&mut` access to its state.
+///
+/// This is the execution substrate for the sharded simulator: each
+/// shard's queues, credits and event wheel live in one `states` element,
+/// and the workers coordinate through a [`SpinBarrier`] and shared
+/// mailboxes captured by `f`. With a single state, `f` runs inline on
+/// the caller's thread — no threads, no atomics.
+///
+/// Worker panics are re-raised on the caller with their original
+/// payload. Note that a panic *between* barrier phases can leave the
+/// surviving workers waiting; `f` should not panic in normal operation
+/// (the engine only does so on internal invariant violations, where a
+/// hang-then-abort is acceptable).
+pub fn run_shard_workers<T, F>(states: &mut [T], f: F)
+where
+    T: Send,
+    F: Fn(usize, &mut T) + Sync,
+{
+    if states.len() == 1 {
+        f(0, &mut states[0]);
+        return;
+    }
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = states
+            .iter_mut()
+            .enumerate()
+            .map(|(index, state)| {
+                let f = &f;
+                scope.spawn(move || f(index, state))
+            })
+            .collect();
+        for h in handles {
+            h.join()
+                .unwrap_or_else(|payload| std::panic::resume_unwind(payload));
+        }
+    });
 }
 
 /// Derives the RNG seed for job `index` from a per-stage `base` seed.
@@ -270,6 +406,73 @@ mod tests {
         assert_eq!(a, child_seed(2017, 0), "child_seed must be pure");
         // Different bases decorrelate.
         assert_ne!(child_seed(1, 5), child_seed(2, 5));
+    }
+
+    #[test]
+    fn shard_count_defaults_to_one() {
+        let _g = override_guard();
+        set_shards(None);
+        std::env::remove_var("RFC_SHARDS");
+        assert_eq!(current_shards(), 1, "shards must default to serial");
+        std::env::set_var("RFC_SHARDS", "4");
+        assert_eq!(current_shards(), 4);
+        std::env::remove_var("RFC_SHARDS");
+        set_shards(Some(8));
+        assert_eq!(current_shards(), 8, "override beats env");
+        set_shards(None);
+    }
+
+    #[test]
+    fn shard_workers_own_their_state_by_index() {
+        let mut states: Vec<(usize, u64)> = (0..6).map(|i| (i, 0)).collect();
+        run_shard_workers(&mut states, |index, state| {
+            assert_eq!(state.0, index, "worker got the wrong shard");
+            state.1 = child_seed(99, index as u64);
+        });
+        for (i, state) in states.iter().enumerate() {
+            assert_eq!(state.1, child_seed(99, i as u64));
+        }
+    }
+
+    #[test]
+    fn shard_workers_single_state_runs_inline() {
+        let caller = std::thread::current().id();
+        let mut states = vec![None];
+        run_shard_workers(&mut states, |_, state| {
+            *state = Some(std::thread::current().id());
+        });
+        assert_eq!(states[0], Some(caller), "one shard must not spawn");
+    }
+
+    #[test]
+    fn spin_barrier_synchronizes_rounds() {
+        const PARTIES: usize = 4;
+        const ROUNDS: usize = 200;
+        let barrier = SpinBarrier::new(PARTIES);
+        let counter = AtomicUsize::new(0);
+        let mut states: Vec<Vec<usize>> = vec![Vec::new(); PARTIES];
+        run_shard_workers(&mut states, |_, seen| {
+            for round in 0..ROUNDS {
+                counter.fetch_add(1, Ordering::Relaxed);
+                barrier.wait();
+                // Between the two waits the counter is stable at its
+                // per-round total: everyone has incremented, nobody has
+                // started the next round.
+                seen.push(counter.load(Ordering::Relaxed) - round * PARTIES);
+                barrier.wait();
+            }
+        });
+        for seen in &states {
+            assert!(seen.iter().all(|&s| s == PARTIES), "barrier leaked a round");
+        }
+    }
+
+    #[test]
+    fn spin_barrier_single_party_is_free() {
+        let barrier = SpinBarrier::new(1);
+        for _ in 0..10 {
+            barrier.wait();
+        }
     }
 
     #[test]

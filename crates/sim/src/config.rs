@@ -106,6 +106,14 @@ impl SimConfig {
             "need at least one virtual channel"
         );
         assert!(self.buffer_packets >= 1, "need at least one buffer slot");
+        assert!(
+            self.buffer_packets <= 255,
+            "ring offsets and credit counters are u8: at most 255 buffers per VC"
+        );
+        assert!(
+            self.virtual_channels <= 255,
+            "VC indices are u8: at most 255 virtual channels"
+        );
         assert!(self.packet_length >= 1, "packets need at least one phit");
         assert!(self.measure_cycles >= 1, "nothing to measure");
         assert!(

@@ -8,9 +8,6 @@
 //! * **Injection** draws the *gap* to the next injecting terminal from a
 //!   geometric distribution ([`geometric_gap`]) instead of one Bernoulli
 //!   draw per terminal — O(injections), not O(terminals), per cycle.
-//!   Injection and traffic randomness live on a dedicated RNG stream so
-//!   the routing/arbitration stream is independent of the offered load
-//!   path taken.
 //! * **Packet queues** are fixed-capacity ring buffers in one flat
 //!   array (`buffer_packets` slots per virtual channel) — no per-VC
 //!   `VecDeque` headers or heap indirection.
@@ -20,21 +17,37 @@
 //! * **Requests** go into one flat preallocated array chained per
 //!   output port (`prev` links + per-output head/count), so arbitration
 //!   touches no nested vectors.
-//! * **ECMP candidates** are materialized as *resolved output ports*
-//!   (and their downstream input ports), eliminating the per-request
-//!   neighbor-to-port binary search.
+//! * **ECMP candidates** are materialized as *resolved output ports*,
+//!   eliminating the per-request neighbor-to-port binary search.
 //!
-//! Two same-seed runs are byte-identical (at any worker-pool thread
-//! count — the cycle loop itself is single-threaded; only table builds
-//! parallelize). Absolute statistics differ from the pre-overhaul
-//! engine because the RNG draw sequence changed shape.
+//! # Sharded execution
+//!
+//! A run partitions the switches into contiguous shards (DESIGN.md §13),
+//! each advanced one cycle at a time by its own worker; cross-shard
+//! packets and credits cross through mailboxes at the cycle boundary.
+//! All randomness is drawn *statelessly* per decision — a counter-based
+//! hash over `(stream, cycle, global entity id)` ([`crate::shard::draw`])
+//! for routing, arbitration and reservoir sampling, plus one sequential
+//! per-switch generator for injection — so every decision is a pure
+//! function of ids the partition cannot change. Results are therefore
+//! **byte-identical at any shard count** (and at any worker-pool thread
+//! count). Absolute statistics differ from the pre-sharding engine
+//! because the RNG draw sequence changed shape (the same precedent as
+//! the PR 3 engine overhaul).
+
+use std::sync::Mutex;
 
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 
+use rfc_graph::vid;
 use rfc_routing::RoutingOracle;
 
 use crate::network::{OutTarget, SimNetwork};
+use crate::shard::{
+    bounded_hi, bounded_lo, drain_mailboxes, draw, lat32, mailbox_push, reservoir_offer, u8_of,
+    Event, Request, Sample, ShardMsg, ShardPlan, ShardState, Streams, NO_PORT, NO_REQ,
+};
 use crate::traffic::TrafficState;
 use crate::{RequestMode, SimConfig, SimResult, TrafficPattern};
 
@@ -44,9 +57,6 @@ pub(crate) const EVENT_WHEEL: usize = 64;
 
 /// Sentinel for "no Valiant intermediate".
 const NO_VIA: u32 = u32::MAX;
-
-/// Sentinel for "no request yet" in the per-output request chains.
-const NO_REQ: u32 = u32::MAX;
 
 /// The virtual-channel class a packet may occupy: with Valiant routing,
 /// phase-0 packets (heading to the intermediate) use `[0, v/2)` and
@@ -80,29 +90,24 @@ fn geometric_gap(rng: &mut SmallRng, ln_q: f64) -> usize {
 }
 
 /// Uniform candidate pick shared by the request stage's table and live
-/// paths — both must consume the RNG identically for the materialized
-/// table to be a pure cache. Single-candidate lists (every down-phase
-/// hop in a tree) skip the draw.
+/// paths — both must consume the draw identically for the materialized
+/// table to be a pure cache. `h` is the slot's stateless per-cycle draw;
+/// its low half picks the candidate (the high half is reserved for the
+/// target-VC start).
 #[inline]
-fn pick_index(
-    mode: RequestMode,
-    len: usize,
-    switch: u32,
-    target: u32,
-    rng: &mut SmallRng,
-) -> usize {
+fn pick_candidate(mode: RequestMode, h: u64, len: usize, switch: u32, target: u32) -> usize {
     match mode {
         RequestMode::UpDownRandom => {
             if len == 1 {
                 0
             } else {
-                rng.gen_range(0..len)
+                bounded_lo(h, len)
             }
         }
         RequestMode::UpDownHash => {
-            let h = (u64::from(switch).wrapping_mul(0x9E37_79B9_7F4A_7C15))
+            let hh = (u64::from(switch).wrapping_mul(0x9E37_79B9_7F4A_7C15))
                 ^ (u64::from(target).wrapping_mul(0xD1B5_4A32_D192_ED03));
-            (h >> 32) as usize % len
+            (hh >> 32) as usize % len
         }
     }
 }
@@ -110,7 +115,7 @@ fn pick_index(
 /// A packet in flight. Payload is irrelevant to the performance study;
 /// only identity, destination, and timing are tracked.
 #[derive(Debug, Clone, Copy)]
-struct Packet {
+pub(crate) struct Packet {
     dst_terminal: u32,
     dst_switch: u32,
     /// Valiant intermediate switch, or [`NO_VIA`] once passed (or when
@@ -119,49 +124,29 @@ struct Packet {
     gen_time: u64,
 }
 
-#[derive(Debug, Clone, Copy)]
-enum Event {
-    /// A packet header reaches an input virtual channel.
-    Arrival {
-        in_port: u32,
-        vc: u8,
-        packet: Packet,
-    },
-    /// A packet tail leaves an input buffer, freeing one slot.
-    Credit { in_port: u32, vc: u8 },
-    /// A parked VC slot re-enters the active worklist: it was stalled
-    /// on outputs that all stay busy until this event's cycle, so
-    /// rescanning it earlier could never have produced a request.
-    Wake { slot: u32 },
-}
-
-/// A pending output-port request from one input virtual channel, stored
-/// in the flat per-cycle request array and chained per output port.
-#[derive(Debug, Clone, Copy)]
-struct Request {
-    in_port: u32,
-    /// Index of the previous request for the same output port this
-    /// cycle, or [`NO_REQ`] — the chain arbitration walks.
-    prev: u32,
-    vc: u8,
-    /// Target VC at the downstream input port; unused for ejection.
-    target_vc: u8,
+impl Default for Packet {
+    fn default() -> Self {
+        Self {
+            dst_terminal: 0,
+            dst_switch: 0,
+            via_switch: NO_VIA,
+            gen_time: 0,
+        }
+    }
 }
 
 /// Precomputed ECMP candidate lists. Routing oracles are deterministic
 /// per `(switch, destination)` pair, and the request stage queries them
 /// for every head packet every cycle — so for all but huge networks the
-/// answers are materialized once, fully *resolved to ports*: the output
-/// port to request and the downstream input port it feeds, removing the
-/// per-request neighbor binary search from the cycle loop.
+/// answers are materialized once, fully *resolved to output ports*,
+/// removing the per-request neighbor binary search from the cycle loop.
 #[derive(Debug)]
 enum Candidates {
     /// `offsets[switch * dst_space + dst] .. offsets[.. + 1]` indexes
-    /// the parallel `out_ports` / `tgt_ports` arrays.
+    /// the parallel `out_ports` array.
     Table {
         offsets: Vec<u32>,
         out_ports: Vec<u32>,
-        tgt_ports: Vec<u32>,
         dst_space: usize,
     },
     /// Network too large to materialize; query the oracle live.
@@ -172,53 +157,45 @@ enum Candidates {
 /// (it would cost more memory than it saves time).
 const TABLE_BUDGET: usize = 16_000_000;
 
+/// The per-cycle read-only context shared by every shard worker.
+#[derive(Debug)]
+struct StepCtx<'t> {
+    traffic: &'t TrafficState,
+    streams: Streams,
+    p_gen: f64,
+    /// Precomputed `ln(1 - p_gen)`; see [`geometric_gap`].
+    ln_q: f64,
+    /// Terminal count, for the Valiant intermediate pick.
+    t32: u32,
+    warmup: u64,
+    end: u64,
+}
+
 /// Reusable per-run buffers for [`Simulation::run_scratch`].
 ///
-/// A run needs packet rings, credit counters, the event wheel, request
-/// chains, and the latency reservoir — allocations whose sizes depend
-/// only on the network, not on the traffic. Callers executing many runs
-/// (load sweeps, Monte-Carlo batches, one worker thread of a parallel
-/// driver) build one `RunScratch` and pass it to every run; the buffers
-/// are cleared and resized at the start of each run, so steady-state
-/// execution allocates nothing.
+/// A run needs packet rings, credit counters, event wheels, request
+/// chains, and the latency reservoirs — allocations whose sizes depend
+/// only on the network and the shard count, not on the traffic. Callers
+/// executing many runs (load sweeps, Monte-Carlo batches, one worker
+/// thread of a parallel driver) build one `RunScratch` and pass it to
+/// every run; the buffers are cleared and resized at the start of each
+/// run, so steady-state execution allocates nothing.
 ///
-/// A scratch may be freely reused across different `Simulation`s and
-/// networks; results are identical to [`Simulation::run`], which simply
-/// uses a fresh scratch internally.
+/// A scratch may be freely reused across different `Simulation`s,
+/// networks, and shard counts; results are identical to
+/// [`Simulation::run`], which simply uses a fresh scratch internally.
 #[derive(Debug, Default)]
 pub struct RunScratch {
-    /// Flat ring-buffer packet storage: `buffer_packets` consecutive
-    /// slots per virtual channel, indexed `vc_slot * cap + offset`.
-    pkts: Vec<Packet>,
-    /// Ring-buffer head offset per VC slot.
-    q_head: Vec<u8>,
-    /// Occupied entries per VC slot.
-    q_len: Vec<u8>,
-    credits: Vec<u8>,
-    /// Worklist of VC slots that may hold packets; stale entries are
-    /// retired lazily by the request scan.
-    active: Vec<u32>,
-    /// Membership mirror of `active`.
-    in_active: Vec<bool>,
-    busy_until: Vec<u64>,
-    busy_cycles: Vec<u64>,
-    wheel: Vec<Vec<Event>>,
-    /// Flat per-cycle request array; entries chain per output port.
-    reqs: Vec<Request>,
-    /// Most recent request index per output port, or [`NO_REQ`].
-    req_head: Vec<u32>,
-    /// Requests per output port this cycle.
-    req_count: Vec<u32>,
-    touched: Vec<u32>,
-    hop_buf: Vec<u32>,
+    /// The switch partition and global↔local port maps.
+    plan: ShardPlan,
+    /// One complete engine state per shard.
+    shard_states: Vec<ShardState>,
+    /// Reservoir merge area (all shards' samples, sorted, truncated).
+    merge_buf: Vec<Sample>,
+    /// The merged, sorted latency values percentiles are read from.
     latency_samples: Vec<u32>,
-    /// Slot → owning switch, precomputed so the request scan does one
-    /// load instead of a division plus an indirection.
-    slot_switch: Vec<u32>,
-    /// Slot → input port.
-    slot_in_port: Vec<u32>,
-    /// Slot → virtual channel.
-    slot_vc: Vec<u8>,
+    /// Per-output-port busy cycles scattered back to global port order.
+    busy_global: Vec<u64>,
 }
 
 impl RunScratch {
@@ -228,71 +205,20 @@ impl RunScratch {
         Self::default()
     }
 
-    /// Clears and resizes every buffer for `net` under the given
-    /// flow-control configuration. Retains capacity across calls.
-    fn reset(&mut self, net: &SimNetwork, cfg: &SimConfig) {
-        let v = cfg.virtual_channels;
-        let cap = cfg.buffer_packets;
-        let n_in = net.num_in_ports();
-        let n_out = net.num_out_ports();
-        let terminals = net.num_terminals();
-        let slots = n_in * v;
-        // Stale packet payloads are unreachable once q_len is zeroed, so
-        // the ring storage only needs the right length, not a wipe.
-        self.pkts.resize(
-            slots * cap,
-            Packet {
-                dst_terminal: 0,
-                dst_switch: 0,
-                via_switch: NO_VIA,
-                gen_time: 0,
-            },
-        );
-        self.q_head.clear();
-        self.q_head.resize(slots, 0);
-        self.q_len.clear();
-        self.q_len.resize(slots, 0);
-        self.credits.clear();
-        self.credits.resize(slots, cfg.buffer_packets as u8);
-        self.active.clear();
-        self.in_active.clear();
-        self.in_active.resize(slots, false);
-        self.busy_until.clear();
-        self.busy_until.resize(n_out, 0);
-        self.busy_cycles.clear();
-        self.busy_cycles.resize(n_out, 0);
-        self.wheel.iter_mut().for_each(Vec::clear);
-        self.wheel.resize_with(EVENT_WHEEL, Vec::new);
-        self.reqs.clear();
-        self.req_head.clear();
-        self.req_head.resize(n_out, NO_REQ);
-        self.req_count.clear();
-        self.req_count.resize(n_out, 0);
-        self.touched.clear();
-        self.hop_buf.clear();
-        self.latency_samples.clear();
-        self.slot_switch.clear();
-        self.slot_switch.reserve(slots);
-        self.slot_in_port.clear();
-        self.slot_in_port.reserve(slots);
-        self.slot_vc.clear();
-        self.slot_vc.reserve(slots);
-        for in_port in 0..n_in {
-            let switch = net.switch_of_in_port[in_port];
-            for vc in 0..v {
-                self.slot_switch.push(switch);
-                self.slot_in_port.push(in_port as u32);
-                self.slot_vc.push(vc as u8);
-            }
+    /// Rebuilds the shard plan and clears/resizes every per-shard state.
+    /// Retains capacity across calls.
+    fn reset(&mut self, net: &SimNetwork, cfg: &SimConfig, shards: usize, inj_stream: u64) {
+        self.plan.build(net, shards);
+        self.shard_states.truncate(shards);
+        while self.shard_states.len() < shards {
+            self.shard_states.push(ShardState::default());
         }
-        // Preallocate the reservoir up front, capped by the most
-        // deliveries the measurement window can physically produce.
-        let max_deliveries = (cfg.measure_cycles as usize)
-            .saturating_mul(terminals)
-            .checked_div(cfg.packet_length as usize)
-            .unwrap_or(0);
-        self.latency_samples
-            .reserve(cfg.latency_reservoir.min(max_deliveries));
+        for me in 0..shards {
+            self.shard_states[me].reset(&self.plan, me, net, cfg, inj_stream);
+        }
+        self.merge_buf.clear();
+        self.latency_samples.clear();
+        self.busy_global.clear();
     }
 }
 
@@ -300,7 +226,8 @@ impl RunScratch {
 ///
 /// One `Simulation` can [`Simulation::run`] many independent experiments;
 /// each run builds fresh per-run state and is fully determined by its
-/// `(pattern, offered_load, seed)` triple.
+/// `(pattern, offered_load, seed)` triple — the shard count does not
+/// enter the results.
 #[derive(Debug)]
 pub struct Simulation<'a, O> {
     net: &'a SimNetwork,
@@ -345,13 +272,12 @@ impl<'a, O: RoutingOracle + Sync> Simulation<'a, O> {
             // One job per switch; per-switch segments come back in
             // switch order and are stitched serially, so the table is
             // byte-identical to a serial build at any thread count.
-            let per_switch: Vec<(Vec<u32>, Vec<u32>, Vec<u32>)> = rfc_parallel::map_init(
+            let per_switch: Vec<(Vec<u32>, Vec<u32>)> = rfc_parallel::map_init(
                 (0..net.num_switches() as u32).collect(),
                 Vec::new,
                 |buf: &mut Vec<u32>, switch| {
                     let mut lens = Vec::with_capacity(dst_space);
                     let mut outs = Vec::new();
-                    let mut tgts = Vec::new();
                     for dst in 0..dst_space as u32 {
                         let before = outs.len();
                         if switch != dst {
@@ -361,38 +287,28 @@ impl<'a, O: RoutingOracle + Sync> Simulation<'a, O> {
                                 let out = net
                                     .out_port_to(switch, hop)
                                     .expect("oracle returned a non-neighbor");
-                                let tgt = match net.out_target[out as usize] {
-                                    OutTarget::Link { in_port, .. } => in_port,
-                                    OutTarget::Eject { .. } => {
-                                        unreachable!("next-hop ports are links")
-                                    }
-                                };
                                 outs.push(out);
-                                tgts.push(tgt);
                             }
                         }
-                        lens.push((outs.len() - before) as u32);
+                        lens.push(vid(outs.len() - before));
                     }
-                    (lens, outs, tgts)
+                    (lens, outs)
                 },
             );
             let mut offsets = Vec::with_capacity(net.num_switches() * dst_space + 1);
             offsets.push(0u32);
             let mut out_ports = Vec::new();
-            let mut tgt_ports = Vec::new();
             let mut total = 0u32;
-            for (lens, outs, tgts) in per_switch {
+            for (lens, outs) in per_switch {
                 for len in lens {
                     total += len;
                     offsets.push(total);
                 }
                 out_ports.extend_from_slice(&outs);
-                tgt_ports.extend_from_slice(&tgts);
             }
             Candidates::Table {
                 offsets,
                 out_ports,
-                tgt_ports,
                 dst_space,
             }
         } else {
@@ -427,14 +343,11 @@ impl<'a, O: RoutingOracle + Sync> Simulation<'a, O> {
 
     /// The raw table arrays, for the serial-vs-parallel build tests.
     #[cfg(test)]
-    fn table_parts(&self) -> Option<(&[u32], &[u32], &[u32])> {
+    fn table_parts(&self) -> Option<(&[u32], &[u32])> {
         match &self.candidates {
             Candidates::Table {
-                offsets,
-                out_ports,
-                tgt_ports,
-                ..
-            } => Some((offsets, out_ports, tgt_ports)),
+                offsets, out_ports, ..
+            } => Some((offsets, out_ports)),
             Candidates::Live => None,
         }
     }
@@ -445,7 +358,9 @@ impl<'a, O: RoutingOracle + Sync> Simulation<'a, O> {
     }
 
     /// Runs one experiment: `offered_load` is in phits per node per cycle
-    /// (1.0 = every node tries to inject one phit per cycle).
+    /// (1.0 = every node tries to inject one phit per cycle). The shard
+    /// count comes from [`rfc_parallel::current_shards`] (`--shards` /
+    /// `RFC_SHARDS`); results are identical at any value.
     pub fn run(&self, pattern: TrafficPattern, offered_load: f64, seed: u64) -> SimResult {
         self.run_with_probes(pattern, offered_load, seed).0
     }
@@ -464,6 +379,32 @@ impl<'a, O: RoutingOracle + Sync> Simulation<'a, O> {
             .0
     }
 
+    /// Like [`Simulation::run`] with an explicit shard count (clamped to
+    /// the switch count). Exposed for benchmarks and tests; ordinary
+    /// callers use [`Simulation::run`] and the `--shards` knob.
+    pub fn run_sharded(
+        &self,
+        pattern: TrafficPattern,
+        offered_load: f64,
+        seed: u64,
+        shards: usize,
+    ) -> SimResult {
+        self.run_sharded_scratch(pattern, offered_load, seed, shards, &mut RunScratch::new())
+    }
+
+    /// [`Simulation::run_sharded`] over caller-owned buffers.
+    pub fn run_sharded_scratch(
+        &self,
+        pattern: TrafficPattern,
+        offered_load: f64,
+        seed: u64,
+        shards: usize,
+        scratch: &mut RunScratch,
+    ) -> SimResult {
+        self.run_with_probes_sharded_scratch(pattern, offered_load, seed, shards, scratch)
+            .0
+    }
+
     /// Like [`Simulation::run`], additionally reporting per-port
     /// serialization utilization over the measurement window.
     pub fn run_with_probes(
@@ -475,15 +416,8 @@ impl<'a, O: RoutingOracle + Sync> Simulation<'a, O> {
         self.run_with_probes_scratch(pattern, offered_load, seed, &mut RunScratch::new())
     }
 
-    /// [`Simulation::run_with_probes`] over caller-owned buffers; the
-    /// common implementation behind every `run` variant.
-    ///
-    /// Two RNG streams, both derived from `seed`: the *injection*
-    /// stream (traffic state, skip-ahead gaps, destinations, Valiant
-    /// intermediates) and the *main* stream (candidate picks, target-VC
-    /// starts, arbitration, the latency reservoir). Keeping them apart
-    /// means routing randomness does not depend on how many terminals
-    /// injected, which is what lets the injection loop skip ahead.
+    /// [`Simulation::run_with_probes`] over caller-owned buffers, at the
+    /// ambient shard count.
     pub fn run_with_probes_scratch(
         &self,
         pattern: TrafficPattern,
@@ -491,452 +425,130 @@ impl<'a, O: RoutingOracle + Sync> Simulation<'a, O> {
         seed: u64,
         scratch: &mut RunScratch,
     ) -> (SimResult, crate::stats::PortUtilization) {
+        self.run_with_probes_sharded_scratch(
+            pattern,
+            offered_load,
+            seed,
+            rfc_parallel::current_shards(),
+            scratch,
+        )
+    }
+
+    /// The common implementation behind every `run` variant: advances
+    /// `shards` independent shard states in lockstep (inline when
+    /// `shards == 1`, on scoped workers otherwise) and merges per-shard
+    /// statistics in shard order.
+    ///
+    /// Randomness is organized as independent streams derived from
+    /// `seed` (see [`Streams`]): the traffic-state build, per-switch
+    /// sequential injection generators, and three stateless counter
+    /// streams for routing decisions, arbitration priorities, and
+    /// reservoir sampling. No draw depends on event order or on the
+    /// partition, which is what makes results shard-count-invariant.
+    pub fn run_with_probes_sharded_scratch(
+        &self,
+        pattern: TrafficPattern,
+        offered_load: f64,
+        seed: u64,
+        shards: usize,
+        scratch: &mut RunScratch,
+    ) -> (SimResult, crate::stats::PortUtilization) {
         let cfg = self.config;
         let net = self.net;
         let v = cfg.virtual_channels;
-        let cap = cfg.buffer_packets;
         let terminals = net.num_terminals();
-        // SmallRng: the engine makes RNG draws per active virtual
-        // channel per cycle, so generator speed matters at saturation;
-        // xoshiro is ~4x faster than the default ChaCha and still
-        // seed-deterministic.
-        let mut rng = SmallRng::seed_from_u64(seed);
-        let mut inj_rng = SmallRng::seed_from_u64(rfc_parallel::child_seed(seed, 1));
-        let traffic = TrafficState::new(pattern, terminals, &mut inj_rng);
+        let shard_count = shards.clamp(1, net.num_switches().max(1));
 
-        scratch.reset(net, &cfg);
-        let RunScratch {
-            pkts,
-            q_head,
-            q_len,
-            credits,
-            active,
-            in_active,
-            busy_until,
-            busy_cycles,
-            wheel,
-            reqs,
-            req_head,
-            req_count,
-            touched,
-            hop_buf,
-            latency_samples,
-            slot_switch,
-            slot_in_port,
-            slot_vc,
-        } = scratch;
+        let mut traffic_rng = SmallRng::seed_from_u64(rfc_parallel::child_seed(seed, 1));
+        let traffic = TrafficState::new(pattern, terminals, &mut traffic_rng);
+        let streams = Streams::derive(seed);
+        scratch.reset(net, &cfg, shard_count, streams.inj);
 
         let p_gen = (offered_load / cfg.packet_length as f64).clamp(0.0, 1.0);
         // Skip-ahead denominator ln(1-p); see `geometric_gap` for the
         // p = 1 limit. Only used when p_gen > 0.
-        let ln_q = (1.0 - p_gen).ln();
-        let warmup = cfg.warmup_cycles;
-        let end = cfg.total_cycles();
+        let ctx = StepCtx {
+            traffic: &traffic,
+            streams,
+            p_gen,
+            ln_q: (1.0 - p_gen).ln(),
+            t32: vid(terminals),
+            warmup: cfg.warmup_cycles,
+            end: cfg.total_cycles(),
+        };
+        let end = ctx.end;
 
+        let RunScratch {
+            plan,
+            shard_states,
+            merge_buf,
+            latency_samples,
+            busy_global,
+        } = scratch;
+        let plan: &ShardPlan = plan;
+
+        if shard_count == 1 {
+            // No mailboxes, no barriers: every port is local.
+            let st = &mut shard_states[0];
+            for now in 0..end {
+                self.step_shard(plan, 0, st, &[], &ctx, now);
+            }
+        } else {
+            let mut mailboxes: Vec<Mutex<Vec<ShardMsg>>> =
+                Vec::with_capacity(shard_count * shard_count);
+            mailboxes.resize_with(shard_count * shard_count, || Mutex::new(Vec::new()));
+            let mailboxes = &mailboxes[..];
+            let barrier = rfc_parallel::SpinBarrier::new(shard_count);
+            let barrier = &barrier;
+            let ctx = &ctx;
+            rfc_parallel::run_shard_workers(shard_states, move |me, st| {
+                for now in 0..end {
+                    self.step_shard(plan, me, st, mailboxes, ctx, now);
+                    // All sends for this cycle are in the mailboxes…
+                    barrier.wait();
+                    drain_mailboxes(plan, me, st, mailboxes, v);
+                    // …and all drains done before anyone starts cycle
+                    // now + 1.
+                    barrier.wait();
+                }
+            });
+        }
+
+        // Merge in fixed shard order: plain sums for the counters, a
+        // sort-and-truncate for the bottom-R reservoirs (the global
+        // bottom-R of a union is contained in the union of per-shard
+        // bottom-Rs, so this reproduces the 1-shard reservoir exactly).
         let mut generated = 0u64;
         let mut refused = 0u64;
         let mut unroutable = 0u64;
         let mut delivered = 0u64;
         let mut latency_sum = 0u64;
-
-        // xtask: hot-loop-begin — the cycle loop must stay allocation-free
-        for now in 0..end {
-            let in_window = now >= warmup;
-            // 1. Deliver scheduled events. Drain (rather than take) the
-            //    slot so its capacity survives to the next lap of the
-            //    wheel.
-            let slot = (now as usize) % EVENT_WHEEL;
-            for ev in wheel[slot].drain(..) {
-                match ev {
-                    Event::Arrival {
-                        in_port,
-                        vc,
-                        packet,
-                    } => {
-                        let s = in_port as usize * v + vc as usize;
-                        // Ring tail; the wrap-if avoids a runtime modulo.
-                        let mut pos = q_head[s] as usize + q_len[s] as usize;
-                        if pos >= cap {
-                            pos -= cap;
-                        }
-                        pkts[s * cap + pos] = packet;
-                        q_len[s] += 1;
-                        if !in_active[s] {
-                            in_active[s] = true;
-                            active.push(s as u32);
-                        }
-                    }
-                    Event::Credit { in_port, vc } => {
-                        credits[in_port as usize * v + vc as usize] += 1;
-                    }
-                    Event::Wake { slot } => {
-                        let s = slot as usize;
-                        if q_len[s] > 0 && !in_active[s] {
-                            in_active[s] = true;
-                            active.push(slot);
-                        }
-                    }
-                }
-            }
-
-            // 2. Injection, "shortest" injection mode — the virtual
-            //    channel with most free slots. The geometric skip-ahead
-            //    visits exactly the terminals a per-terminal Bernoulli
-            //    draw would have selected (identical in distribution).
-            if p_gen > 0.0 {
-                let mut t = geometric_gap(&mut inj_rng, ln_q);
-                while t < terminals {
-                    let src = t as u32;
-                    'inject: {
-                        let Some(dst) = traffic.dest(src, &mut inj_rng) else {
-                            break 'inject;
-                        };
-                        let dst_switch = net.dst_switch_of_terminal[dst as usize];
-                        let src_switch = net.dst_switch_of_terminal[src as usize];
-                        // Valiant stage: bounce through a random
-                        // terminal's switch first.
-                        let via_switch = if cfg.valiant_routing {
-                            let mid = inj_rng.gen_range(0..terminals as u32);
-                            let vs = net.dst_switch_of_terminal[mid as usize];
-                            if vs == src_switch || vs == dst_switch {
-                                NO_VIA
-                            } else {
-                                vs
-                            }
-                        } else {
-                            NO_VIA
-                        };
-                        let first_target = if via_switch != NO_VIA {
-                            via_switch
-                        } else {
-                            dst_switch
-                        };
-                        if src_switch != first_target
-                            && !self.has_route(src_switch, first_target, hop_buf)
-                        {
-                            if in_window {
-                                unroutable += 1;
-                            }
-                            break 'inject;
-                        }
-                        if via_switch != NO_VIA
-                            && via_switch != dst_switch
-                            && !self.has_route(via_switch, dst_switch, hop_buf)
-                        {
-                            if in_window {
-                                unroutable += 1;
-                            }
-                            break 'inject;
-                        }
-                        let in_port = net.inject_port_of_terminal[src as usize] as usize;
-                        let base = in_port * v;
-                        // Valiant phase partition: packets still heading
-                        // to an intermediate use the first half of the
-                        // VCs. The range is nonempty by construction:
-                        // assert_valid requires >= 2 VCs whenever
-                        // Valiant splits them.
-                        let (vc_lo, vc_hi) = vc_range(cfg.valiant_routing, via_switch != NO_VIA, v);
-                        let mut best = vc_lo;
-                        for c in vc_lo + 1..vc_hi {
-                            if credits[base + c] > credits[base + best] {
-                                best = c;
-                            }
-                        }
-                        if credits[base + best] == 0 {
-                            if in_window {
-                                refused += 1;
-                            }
-                            break 'inject;
-                        }
-                        credits[base + best] -= 1;
-                        let s = base + best;
-                        let mut pos = q_head[s] as usize + q_len[s] as usize;
-                        if pos >= cap {
-                            pos -= cap;
-                        }
-                        pkts[s * cap + pos] = Packet {
-                            dst_terminal: dst,
-                            dst_switch,
-                            via_switch,
-                            gen_time: now,
-                        };
-                        q_len[s] += 1;
-                        if !in_active[s] {
-                            in_active[s] = true;
-                            active.push(s as u32);
-                        }
-                        if in_window {
-                            generated += 1;
-                        }
-                    }
-                    t = t
-                        .saturating_add(geometric_gap(&mut inj_rng, ln_q))
-                        .saturating_add(1);
-                }
-            }
-
-            // 3. Routing requests: every head packet asks for one random
-            //    candidate output (the "up/down random" request mode).
-            //    Only occupied VC slots are visited; slots drained by a
-            //    previous arbitration round retire here. A slot whose
-            //    candidate outputs are ALL busy is *parked*: removed
-            //    from the worklist with a `Wake` scheduled for the
-            //    cycle the earliest output frees — until then a rescan
-            //    could never form a request, so skipping it is exact.
-            let mut i = 0;
-            'slots: while i < active.len() {
-                let s = active[i] as usize;
-                if q_len[s] == 0 {
-                    in_active[s] = false;
-                    active.swap_remove(i);
-                    continue;
-                }
-                let switch = slot_switch[s];
-                let head = &mut pkts[s * cap + q_head[s] as usize];
-                // Valiant phase transition: the intermediate has been
-                // reached, continue toward the real target.
-                if head.via_switch == switch {
-                    head.via_switch = NO_VIA;
-                }
-                let routing_target = if head.via_switch != NO_VIA {
-                    head.via_switch
-                } else {
-                    head.dst_switch
-                };
-                let head = *head;
-                // Parks the current slot until `wake` (at most
-                // packet_length cycles out, within the wheel horizon).
-                macro_rules! park_until {
-                    ($wake:expr) => {{
-                        in_active[s] = false;
-                        active.swap_remove(i);
-                        wheel[($wake as usize) % EVENT_WHEEL].push(Event::Wake { slot: s as u32 });
-                        continue 'slots;
-                    }};
-                }
-                let (out_port, target_vc) = if routing_target == switch {
-                    let out = net.eject_port_of_terminal[head.dst_terminal as usize];
-                    let free_at = busy_until[out as usize];
-                    if free_at > now {
-                        // The ejector is this packet's only way out.
-                        park_until!(free_at);
-                    }
-                    (out, u8::MAX)
-                } else {
-                    let (out, tgt_in) = match &self.candidates {
-                        Candidates::Table {
-                            offsets,
-                            out_ports,
-                            tgt_ports,
-                            dst_space,
-                        } => {
-                            let ci = switch as usize * dst_space + routing_target as usize;
-                            let lo = offsets[ci] as usize;
-                            let hi = offsets[ci + 1] as usize;
-                            if hi == lo {
-                                // Statically faulted networks never
-                                // strand a packet mid-route (injection
-                                // pre-checks), but stay safe: stall it.
-                                i += 1;
-                                continue;
-                            }
-                            let k = lo
-                                + pick_index(
-                                    cfg.request_mode,
-                                    hi - lo,
-                                    switch,
-                                    routing_target,
-                                    &mut rng,
-                                );
-                            let out = out_ports[k];
-                            if busy_until[out as usize] > now {
-                                let mut wake = u64::MAX;
-                                for cand in &out_ports[lo..hi] {
-                                    wake = wake.min(busy_until[*cand as usize]);
-                                }
-                                if wake > now {
-                                    park_until!(wake);
-                                }
-                                // A free sibling exists: retry the
-                                // uniform pick next cycle.
-                                i += 1;
-                                continue;
-                            }
-                            (out, tgt_ports[k])
-                        }
-                        Candidates::Live => {
-                            hop_buf.clear();
-                            self.oracle.next_hops_into(switch, routing_target, hop_buf);
-                            if hop_buf.is_empty() {
-                                i += 1;
-                                continue;
-                            }
-                            let k = pick_index(
-                                cfg.request_mode,
-                                hop_buf.len(),
-                                switch,
-                                routing_target,
-                                &mut rng,
-                            );
-                            let hop = hop_buf[k];
-                            // An oracle handing back a non-neighbor (or
-                            // an ejection port) is a routing bug; stall
-                            // the packet instead of panicking mid-run.
-                            let Some(out) = net.out_port_to(switch, hop) else {
-                                debug_assert!(false, "oracle returned non-neighbor {hop}");
-                                i += 1;
-                                continue;
-                            };
-                            let OutTarget::Link { in_port: tgt, .. } = net.out_target[out as usize]
-                            else {
-                                debug_assert!(false, "next-hop port {out} is not a link");
-                                i += 1;
-                                continue;
-                            };
-                            if busy_until[out as usize] > now {
-                                // Mirror the table path exactly (the
-                                // cached-vs-live agreement contract):
-                                // park only when every candidate is
-                                // busy.
-                                let mut wake = u64::MAX;
-                                for &cand in hop_buf.iter() {
-                                    if let Some(o) = net.out_port_to(switch, cand) {
-                                        wake = wake.min(busy_until[o as usize]);
-                                    }
-                                }
-                                if wake > now {
-                                    park_until!(wake);
-                                }
-                                i += 1;
-                                continue;
-                            }
-                            (out, tgt)
-                        }
-                    };
-                    // Random target VC among those with a free slot,
-                    // restricted to the packet's Valiant phase class.
-                    // Wrap-if rotation instead of a per-step modulo.
-                    let (vc_lo, vc_hi) =
-                        vc_range(cfg.valiant_routing, head.via_switch != NO_VIA, v);
-                    let span = vc_hi - vc_lo;
-                    let start = if span == 1 { 0 } else { rng.gen_range(0..span) };
-                    let tgt_base = tgt_in as usize * v;
-                    let mut cand = vc_lo + start;
-                    let mut chosen = None;
-                    for _ in 0..span {
-                        if credits[tgt_base + cand] > 0 {
-                            chosen = Some(cand as u8);
-                            break;
-                        }
-                        cand += 1;
-                        if cand == vc_hi {
-                            cand = vc_lo;
-                        }
-                    }
-                    let Some(tvc) = chosen else {
-                        // Downstream credits return at unpredictable
-                        // times; keep the slot live and retry.
-                        i += 1;
-                        continue;
-                    };
-                    (out, tvc)
-                };
-                let o = out_port as usize;
-                if req_count[o] == 0 {
-                    touched.push(out_port);
-                }
-                reqs.push(Request {
-                    in_port: slot_in_port[s],
-                    prev: req_head[o],
-                    vc: slot_vc[s],
-                    target_vc,
-                });
-                req_head[o] = (reqs.len() - 1) as u32;
-                req_count[o] += 1;
-                i += 1;
-            }
-
-            // 4. Random arbitration, one iteration: each free output port
-            //    grants one random requester, found by walking the
-            //    request chain a uniform number of steps back.
-            for &out in touched.iter() {
-                let o = out as usize;
-                let n = req_count[o] as usize;
-                req_count[o] = 0;
-                let mut ri = req_head[o];
-                req_head[o] = NO_REQ;
-                let back = if n <= 1 { 0 } else { rng.gen_range(0..n) };
-                for _ in 0..back {
-                    ri = reqs[ri as usize].prev;
-                }
-                let pick = reqs[ri as usize];
-                let s = pick.in_port as usize * v + pick.vc as usize;
-                // A granted VC always still holds its head packet (one
-                // request per VC per cycle, one grant per output), but
-                // never panic in the hot loop if that invariant breaks.
-                if q_len[s] == 0 {
-                    debug_assert!(false, "granted VC slot {s} is empty");
-                    continue;
-                }
-                let packet = pkts[s * cap + q_head[s] as usize];
-                let next_head = q_head[s] as usize + 1;
-                q_head[s] = if next_head == cap { 0 } else { next_head as u8 };
-                q_len[s] -= 1;
-                debug_assert!(busy_until[o] <= now);
-                busy_until[o] = now + cfg.packet_length;
-                if in_window {
-                    busy_cycles[o] += cfg.packet_length.min(end - now);
-                }
-                let credit_at = ((now + cfg.packet_length) as usize) % EVENT_WHEEL;
-                wheel[credit_at].push(Event::Credit {
-                    in_port: pick.in_port,
-                    vc: pick.vc,
-                });
-                match net.out_target[o] {
-                    OutTarget::Eject { terminal } => {
-                        debug_assert_eq!(terminal, packet.dst_terminal);
-                        if in_window {
-                            delivered += 1;
-                            let latency = now + cfg.packet_length - packet.gen_time;
-                            latency_sum += latency;
-                            // Reservoir sampling keeps memory bounded at
-                            // paper scale while preserving percentile
-                            // accuracy.
-                            if latency_samples.len() < cfg.latency_reservoir {
-                                latency_samples.push(latency as u32);
-                            } else {
-                                let slot = rng.gen_range(0..delivered as usize);
-                                if slot < cfg.latency_reservoir {
-                                    latency_samples[slot] = latency as u32;
-                                }
-                            }
-                        }
-                    }
-                    OutTarget::Link { in_port: tgt, .. } => {
-                        credits[tgt as usize * v + pick.target_vc as usize] -= 1;
-                        let at =
-                            ((now + cfg.link_latency + cfg.router_latency) as usize) % EVENT_WHEEL;
-                        wheel[at].push(Event::Arrival {
-                            in_port: tgt,
-                            vc: pick.target_vc,
-                            packet,
-                        });
-                    }
-                }
-            }
-            touched.clear();
-            reqs.clear();
+        let mut in_flight = 0u64;
+        merge_buf.clear();
+        for st in shard_states.iter() {
+            generated += st.generated;
+            refused += st.refused;
+            unroutable += st.unroutable;
+            delivered += st.delivered;
+            latency_sum += st.latency_sum;
+            in_flight += st.in_flight();
+            merge_buf.extend_from_slice(&st.reservoir);
         }
-        // xtask: hot-loop-end
-
-        let in_flight: u64 = q_len.iter().map(|&l| u64::from(l)).sum::<u64>()
-            + wheel
-                .iter()
-                .flatten()
-                .filter(|e| matches!(e, Event::Arrival { .. }))
-                .count() as u64;
-        let window = cfg.measure_cycles as f64;
+        merge_buf.sort_unstable_by_key(Sample::key);
+        merge_buf.truncate(cfg.latency_reservoir);
+        latency_samples.clear();
+        latency_samples.extend(merge_buf.iter().map(|s| s.latency));
         latency_samples.sort_unstable();
+
+        busy_global.clear();
+        busy_global.resize(net.num_out_ports(), 0);
+        for (k, st) in shard_states.iter().enumerate() {
+            for (o, &busy) in st.busy_cycles.iter().enumerate() {
+                busy_global[plan.out_gids[k][o] as usize] = busy;
+            }
+        }
+
+        let window = cfg.measure_cycles as f64;
         let percentile = |p: f64| -> f64 {
             if latency_samples.is_empty() {
                 return f64::NAN;
@@ -963,7 +575,7 @@ impl<'a, O: RoutingOracle + Sync> Simulation<'a, O> {
         };
         let mut link = Vec::new();
         let mut eject = Vec::new();
-        for (out, &busy) in busy_cycles.iter().enumerate() {
+        for (out, &busy) in busy_global.iter().enumerate() {
             let utilization = busy as f64 / window;
             match net.out_target[out] {
                 OutTarget::Link { .. } => link.push(utilization),
@@ -971,6 +583,517 @@ impl<'a, O: RoutingOracle + Sync> Simulation<'a, O> {
             }
         }
         (result, crate::stats::PortUtilization { link, eject })
+    }
+
+    /// Advances shard `me` by one cycle: deliver scheduled events,
+    /// inject on owned switches, form routing requests, arbitrate and
+    /// move packets. Cross-shard effects (arrivals at ports owned
+    /// elsewhere, credits for buffers fed from elsewhere) go to the
+    /// mailboxes; everything else stays in `st`.
+    #[allow(clippy::too_many_lines)]
+    fn step_shard(
+        &self,
+        plan: &ShardPlan,
+        me: usize,
+        st: &mut ShardState,
+        mailboxes: &[Mutex<Vec<ShardMsg>>],
+        ctx: &StepCtx<'_>,
+        now: u64,
+    ) {
+        let cfg = &self.config;
+        let net = self.net;
+        let v = cfg.virtual_channels;
+        let cap = cfg.buffer_packets;
+        let in_window = now >= ctx.warmup;
+        let ShardState {
+            pkts,
+            q_head,
+            q_len,
+            in_credits,
+            out_credits,
+            active,
+            in_active,
+            busy_until,
+            busy_cycles,
+            wheel,
+            reqs,
+            req_head,
+            req_count,
+            touched,
+            hop_buf,
+            slot_switch,
+            slot_gid,
+            slot_vc,
+            slot_feeder,
+            inj_switches,
+            inj_rngs,
+            reservoir,
+            generated,
+            refused,
+            unroutable,
+            delivered,
+            latency_sum,
+        } = st;
+        // Local slice bindings so the optimizer can hoist the base
+        // pointer and bounds loads out of the per-packet loops below.
+        let local_of_in = plan.local_of_in.as_slice();
+        let local_of_out = plan.local_of_out.as_slice();
+        let shard_of_in = plan.shard_of_in.as_slice();
+        let shard_of_out = plan.shard_of_out.as_slice();
+        let out_gids_me = plan.out_gids[me].as_slice();
+        let out_target = net.out_target.as_slice();
+        let eject_port_of_terminal = net.eject_port_of_terminal.as_slice();
+        let dst_switch_of_terminal = net.dst_switch_of_terminal.as_slice();
+        let inject_port_of_terminal = net.inject_port_of_terminal.as_slice();
+
+        // xtask: hot-loop-begin — the shard step must stay allocation-free
+        // 1. Deliver scheduled events. Drain (rather than take) the
+        //    slot so its capacity survives to the next lap of the
+        //    wheel. Within a slot, events commute: arrivals target
+        //    distinct VC slots (one feeder per input port, one grant
+        //    per output per cycle) and credit increments are sums.
+        let wslot = (now as usize) % EVENT_WHEEL;
+        for ev in wheel[wslot].drain(..) {
+            match ev {
+                Event::Arrival { slot, packet } => {
+                    let s = slot as usize;
+                    // Ring tail; the wrap-if avoids a runtime modulo.
+                    let mut pos = q_head[s] as usize + q_len[s] as usize;
+                    if pos >= cap {
+                        pos -= cap;
+                    }
+                    pkts[s * cap + pos] = packet;
+                    q_len[s] += 1;
+                    if !in_active[s] {
+                        in_active[s] = true;
+                        active.push(slot);
+                    }
+                }
+                Event::CreditIn { slot } => {
+                    in_credits[slot as usize] += 1;
+                }
+                Event::CreditOut { idx } => {
+                    out_credits[idx as usize] += 1;
+                }
+                Event::Wake { slot } => {
+                    let s = slot as usize;
+                    if q_len[s] > 0 && !in_active[s] {
+                        in_active[s] = true;
+                        active.push(slot);
+                    }
+                }
+            }
+        }
+
+        // 2. Injection, "shortest" injection mode — the virtual channel
+        //    with most free slots. Each owned switch walks its own
+        //    terminal group with its own sequential generator (seeded
+        //    from the switch id), so the draw sequence a terminal sees
+        //    is independent of the partition. The geometric skip-ahead
+        //    visits exactly the terminals a per-terminal Bernoulli draw
+        //    would have selected (identical in distribution).
+        if ctx.p_gen > 0.0 {
+            for (sw, rng) in inj_switches.iter().zip(inj_rngs.iter_mut()) {
+                let sw_us = *sw as usize;
+                let group = &plan.terms
+                    [plan.term_offsets[sw_us] as usize..plan.term_offsets[sw_us + 1] as usize];
+                let mut t = geometric_gap(rng, ctx.ln_q);
+                while t < group.len() {
+                    let src = group[t];
+                    'inject: {
+                        let Some(dst) = ctx.traffic.dest(src, rng) else {
+                            break 'inject;
+                        };
+                        let dst_switch = dst_switch_of_terminal[dst as usize];
+                        let src_switch = *sw;
+                        // Valiant stage: bounce through a random
+                        // terminal's switch first.
+                        let via_switch = if cfg.valiant_routing {
+                            let mid = rng.gen_range(0..ctx.t32);
+                            let vs = dst_switch_of_terminal[mid as usize];
+                            if vs == src_switch || vs == dst_switch {
+                                NO_VIA
+                            } else {
+                                vs
+                            }
+                        } else {
+                            NO_VIA
+                        };
+                        let first_target = if via_switch != NO_VIA {
+                            via_switch
+                        } else {
+                            dst_switch
+                        };
+                        if src_switch != first_target
+                            && !self.has_route(src_switch, first_target, hop_buf)
+                        {
+                            if in_window {
+                                *unroutable += 1;
+                            }
+                            break 'inject;
+                        }
+                        if via_switch != NO_VIA
+                            && via_switch != dst_switch
+                            && !self.has_route(via_switch, dst_switch, hop_buf)
+                        {
+                            if in_window {
+                                *unroutable += 1;
+                            }
+                            break 'inject;
+                        }
+                        let in_port = inject_port_of_terminal[src as usize];
+                        let base = local_of_in[in_port as usize] as usize * v;
+                        // Valiant phase partition: packets still heading
+                        // to an intermediate use the first half of the
+                        // VCs. The range is nonempty by construction:
+                        // assert_valid requires >= 2 VCs whenever
+                        // Valiant splits them.
+                        let (vc_lo, vc_hi) = vc_range(cfg.valiant_routing, via_switch != NO_VIA, v);
+                        let mut best = vc_lo;
+                        for c in vc_lo + 1..vc_hi {
+                            if in_credits[base + c] > in_credits[base + best] {
+                                best = c;
+                            }
+                        }
+                        if in_credits[base + best] == 0 {
+                            if in_window {
+                                *refused += 1;
+                            }
+                            break 'inject;
+                        }
+                        in_credits[base + best] -= 1;
+                        let s = base + best;
+                        let mut pos = q_head[s] as usize + q_len[s] as usize;
+                        if pos >= cap {
+                            pos -= cap;
+                        }
+                        pkts[s * cap + pos] = Packet {
+                            dst_terminal: dst,
+                            dst_switch,
+                            via_switch,
+                            gen_time: now,
+                        };
+                        q_len[s] += 1;
+                        if !in_active[s] {
+                            in_active[s] = true;
+                            active.push(vid(s));
+                        }
+                        if in_window {
+                            *generated += 1;
+                        }
+                    }
+                    t = t
+                        .saturating_add(geometric_gap(rng, ctx.ln_q))
+                        .saturating_add(1);
+                }
+            }
+        }
+
+        // 3. Routing requests: every head packet asks for one random
+        //    candidate output (the "up/down random" request mode), drawn
+        //    statelessly from the slot's global id — worklist order
+        //    cannot matter. Only occupied VC slots are visited; slots
+        //    drained by a previous arbitration round retire here. A slot
+        //    whose candidate outputs are ALL busy is *parked*: removed
+        //    from the worklist with a `Wake` scheduled for the cycle the
+        //    earliest output frees — until then a rescan could never
+        //    have produced a request, so skipping it is exact.
+        let mut i = 0;
+        'slots: while i < active.len() {
+            let s = active[i] as usize;
+            if q_len[s] == 0 {
+                in_active[s] = false;
+                active.swap_remove(i);
+                continue;
+            }
+            let switch = slot_switch[s];
+            let head = &mut pkts[s * cap + q_head[s] as usize];
+            // Valiant phase transition: the intermediate has been
+            // reached, continue toward the real target.
+            if head.via_switch == switch {
+                head.via_switch = NO_VIA;
+            }
+            let routing_target = if head.via_switch != NO_VIA {
+                head.via_switch
+            } else {
+                head.dst_switch
+            };
+            let head = *head;
+            // Parks the current slot until `wake` (at most
+            // packet_length cycles out, within the wheel horizon).
+            macro_rules! park_until {
+                ($wake:expr) => {{
+                    in_active[s] = false;
+                    active.swap_remove(i);
+                    wheel[($wake as usize) % EVENT_WHEEL].push(Event::Wake { slot: vid(s) });
+                    continue 'slots;
+                }};
+            }
+            // The global slot id: the stateless draw key and the
+            // arbitration tie-break, both partition-independent.
+            let gid = slot_gid[s];
+            let (out_gid, o, target_vc) = if routing_target == switch {
+                let out = eject_port_of_terminal[head.dst_terminal as usize];
+                let free_at = busy_until[out as usize];
+                if free_at > now {
+                    // The ejector is this packet's only way out.
+                    park_until!(free_at);
+                }
+                (out, local_of_out[out as usize] as usize, u8::MAX)
+            } else {
+                // One draw serves both decisions: low half picks the
+                // candidate, high half starts the target-VC rotation.
+                let h = draw(ctx.streams.dec, now, u64::from(gid));
+                let out = match &self.candidates {
+                    Candidates::Table {
+                        offsets,
+                        out_ports,
+                        dst_space,
+                    } => {
+                        let ci = switch as usize * dst_space + routing_target as usize;
+                        let lo = offsets[ci] as usize;
+                        let hi = offsets[ci + 1] as usize;
+                        if hi == lo {
+                            // Statically faulted networks never strand a
+                            // packet mid-route (injection pre-checks),
+                            // but stay safe: stall it.
+                            i += 1;
+                            continue;
+                        }
+                        let k = lo
+                            + pick_candidate(cfg.request_mode, h, hi - lo, switch, routing_target);
+                        let out = out_ports[k];
+                        if busy_until[out as usize] > now {
+                            let mut wake = u64::MAX;
+                            for &cand in &out_ports[lo..hi] {
+                                wake = wake.min(busy_until[cand as usize]);
+                            }
+                            if wake > now {
+                                park_until!(wake);
+                            }
+                            // A free sibling exists: retry the uniform
+                            // pick next cycle.
+                            i += 1;
+                            continue;
+                        }
+                        out
+                    }
+                    Candidates::Live => {
+                        hop_buf.clear();
+                        self.oracle.next_hops_into(switch, routing_target, hop_buf);
+                        if hop_buf.is_empty() {
+                            i += 1;
+                            continue;
+                        }
+                        let k = pick_candidate(
+                            cfg.request_mode,
+                            h,
+                            hop_buf.len(),
+                            switch,
+                            routing_target,
+                        );
+                        let hop = hop_buf[k];
+                        // An oracle handing back a non-neighbor (or an
+                        // ejection port) is a routing bug; stall the
+                        // packet instead of panicking mid-run.
+                        let Some(out) = net.out_port_to(switch, hop) else {
+                            debug_assert!(false, "oracle returned non-neighbor {hop}");
+                            i += 1;
+                            continue;
+                        };
+                        if !matches!(out_target[out as usize], OutTarget::Link { .. }) {
+                            debug_assert!(false, "next-hop port {out} is not a link");
+                            i += 1;
+                            continue;
+                        }
+                        if busy_until[out as usize] > now {
+                            // Mirror the table path exactly (the
+                            // cached-vs-live agreement contract): park
+                            // only when every candidate is busy.
+                            let mut wake = u64::MAX;
+                            for &cand in hop_buf.iter() {
+                                if let Some(oc) = net.out_port_to(switch, cand) {
+                                    wake = wake.min(busy_until[oc as usize]);
+                                }
+                            }
+                            if wake > now {
+                                park_until!(wake);
+                            }
+                            i += 1;
+                            continue;
+                        }
+                        out
+                    }
+                };
+                let o = local_of_out[out as usize] as usize;
+                // Random target VC among those with a free slot (read
+                // from this shard's credit mirror of the downstream
+                // buffers this output feeds), restricted to the packet's
+                // Valiant phase class. Wrap-if rotation instead of a
+                // per-step modulo.
+                let (vc_lo, vc_hi) = vc_range(cfg.valiant_routing, head.via_switch != NO_VIA, v);
+                let span = vc_hi - vc_lo;
+                let start = if span == 1 { 0 } else { bounded_hi(h, span) };
+                let ob = o * v;
+                let mut cand = vc_lo + start;
+                let mut chosen = None;
+                for _ in 0..span {
+                    if out_credits[ob + cand] > 0 {
+                        chosen = Some(u8_of(cand));
+                        break;
+                    }
+                    cand += 1;
+                    if cand == vc_hi {
+                        cand = vc_lo;
+                    }
+                }
+                let Some(tvc) = chosen else {
+                    // Downstream credits return at unpredictable times;
+                    // keep the slot live and retry.
+                    i += 1;
+                    continue;
+                };
+                (out, o, tvc)
+            };
+            if req_count[o] == 0 {
+                touched.push(vid(o));
+            }
+            reqs.push(Request {
+                slot: vid(s),
+                prev: req_head[o],
+                // The priority is keyed on (cycle, output, slot): a pure
+                // function of global ids, so the winner below depends
+                // only on the requester *set*.
+                prio: draw(
+                    ctx.streams.arb,
+                    now,
+                    (u64::from(out_gid) << 32) | u64::from(gid),
+                ),
+                gid,
+                target_vc,
+            });
+            req_head[o] = vid(reqs.len() - 1);
+            req_count[o] += 1;
+            i += 1;
+        }
+
+        // 4. Random arbitration, one iteration: each free output port
+        //    grants the requester with the smallest stateless priority
+        //    (global slot id as tie-break) — an argmin over the request
+        //    chain, independent of chain order.
+        for &out in touched.iter() {
+            let o = out as usize;
+            let out_gid = out_gids_me[o];
+            req_count[o] = 0;
+            let first = req_head[o] as usize;
+            req_head[o] = NO_REQ;
+            let mut best = first;
+            let mut cur = reqs[first].prev;
+            while cur != NO_REQ {
+                let c = cur as usize;
+                if (reqs[c].prio, reqs[c].gid) < (reqs[best].prio, reqs[best].gid) {
+                    best = c;
+                }
+                cur = reqs[c].prev;
+            }
+            let pick = reqs[best];
+            let s = pick.slot as usize;
+            // A granted VC always still holds its head packet (one
+            // request per VC per cycle, one grant per output), but
+            // never panic in the hot loop if that invariant breaks.
+            if q_len[s] == 0 {
+                debug_assert!(false, "granted VC slot {s} is empty");
+                continue;
+            }
+            let packet = pkts[s * cap + q_head[s] as usize];
+            let next_head = q_head[s] as usize + 1;
+            q_head[s] = if next_head == cap {
+                0
+            } else {
+                u8_of(next_head)
+            };
+            q_len[s] -= 1;
+            debug_assert!(busy_until[out_gid as usize] <= now);
+            busy_until[out_gid as usize] = now + cfg.packet_length;
+            if in_window {
+                busy_cycles[o] += cfg.packet_length.min(ctx.end - now);
+            }
+            // Return the freed buffer slot: to the local injection
+            // credit for terminal-fed ports, else to the credit mirror
+            // at the feeding output port's shard.
+            let credit_at = now + cfg.packet_length;
+            let feeder = slot_feeder[s];
+            if feeder == NO_PORT {
+                wheel[(credit_at as usize) % EVENT_WHEEL].push(Event::CreditIn { slot: pick.slot });
+            } else {
+                let fsh = shard_of_out[feeder as usize] as usize;
+                if fsh == me {
+                    let idx = local_of_out[feeder as usize] as usize * v + slot_vc[s] as usize;
+                    wheel[(credit_at as usize) % EVENT_WHEEL]
+                        .push(Event::CreditOut { idx: vid(idx) });
+                } else {
+                    mailbox_push(
+                        mailboxes,
+                        me * plan.shards + fsh,
+                        ShardMsg::Credit {
+                            at: credit_at,
+                            out_port: feeder,
+                            vc: slot_vc[s],
+                        },
+                    );
+                }
+            }
+            match out_target[out_gid as usize] {
+                OutTarget::Eject { terminal } => {
+                    debug_assert_eq!(terminal, packet.dst_terminal);
+                    if in_window {
+                        *delivered += 1;
+                        let latency = now + cfg.packet_length - packet.gen_time;
+                        *latency_sum += latency;
+                        // Order sampling keeps memory bounded at paper
+                        // scale while staying mergeable across shards:
+                        // each delivery competes with a stateless
+                        // priority keyed on its unique (cycle, ejector).
+                        reservoir_offer(
+                            reservoir,
+                            cfg.latency_reservoir,
+                            Sample {
+                                prio: draw(ctx.streams.stats, now, u64::from(out_gid)),
+                                cycle: now,
+                                out: out_gid,
+                                latency: lat32(latency),
+                            },
+                        );
+                    }
+                }
+                OutTarget::Link { in_port: tgt, .. } => {
+                    out_credits[o * v + pick.target_vc as usize] -= 1;
+                    let at = now + cfg.link_latency + cfg.router_latency;
+                    let tsh = shard_of_in[tgt as usize] as usize;
+                    if tsh == me {
+                        let slot = local_of_in[tgt as usize] as usize * v + pick.target_vc as usize;
+                        wheel[(at as usize) % EVENT_WHEEL].push(Event::Arrival {
+                            slot: vid(slot),
+                            packet,
+                        });
+                    } else {
+                        mailbox_push(
+                            mailboxes,
+                            me * plan.shards + tsh,
+                            ShardMsg::Arrival {
+                                at,
+                                in_port: tgt,
+                                vc: pick.target_vc,
+                                packet,
+                            },
+                        );
+                    }
+                }
+            }
+        }
+        touched.clear();
+        reqs.clear();
+        // xtask: hot-loop-end
     }
 
     /// Runs a load sweep, one run per entry of `loads`, with seeds
@@ -1067,6 +1190,132 @@ mod tests {
             big_sim.run_scratch(TrafficPattern::Uniform, 0.7, 17, &mut scratch),
             big_fresh
         );
+    }
+
+    #[test]
+    fn scratch_reuse_across_shard_counts_is_equivalent() {
+        // One scratch hopping 1 -> 4 -> 2 -> 1 shards must keep
+        // reproducing the same results.
+        let clos = FoldedClos::cft(6, 3).unwrap();
+        let routing = UpDownRouting::new(&clos);
+        let net = SimNetwork::from_folded_clos(&clos);
+        let sim = Simulation::new(&net, &routing, SimConfig::quick());
+        let mut scratch = RunScratch::new();
+        let base = sim.run_sharded_scratch(TrafficPattern::Uniform, 0.6, 13, 1, &mut scratch);
+        for shards in [4usize, 2, 1] {
+            let r = sim.run_sharded_scratch(TrafficPattern::Uniform, 0.6, 13, shards, &mut scratch);
+            assert_eq!(base, r, "shards {shards} diverged through scratch reuse");
+        }
+    }
+
+    #[test]
+    fn sharded_runs_are_byte_identical_to_serial() {
+        // The tentpole contract: every statistic — counters, latency
+        // percentiles from the merged reservoir, and per-port probes —
+        // is invariant in the shard count.
+        let clos = FoldedClos::cft(6, 3).unwrap();
+        let routing = UpDownRouting::new(&clos);
+        let net = SimNetwork::from_folded_clos(&clos);
+        let sim = Simulation::new(&net, &routing, SimConfig::quick());
+        let mut scratch = RunScratch::new();
+        for (pattern, load) in [
+            (TrafficPattern::Uniform, 0.5),
+            (TrafficPattern::RandomPairing, 0.9),
+        ] {
+            let (base, base_probes) =
+                sim.run_with_probes_sharded_scratch(pattern, load, 77, 1, &mut scratch);
+            for shards in [2usize, 3, 8] {
+                let (r, probes) =
+                    sim.run_with_probes_sharded_scratch(pattern, load, 77, shards, &mut scratch);
+                assert_eq!(base, r, "{pattern} diverged at {shards} shards");
+                assert_eq!(base_probes.link, probes.link, "{pattern} link probes");
+                assert_eq!(base_probes.eject, probes.eject, "{pattern} eject probes");
+            }
+        }
+    }
+
+    #[test]
+    fn one_switch_per_shard_crosses_boundaries_every_hop() {
+        // cft(4, 2) has 6 switches; at 6 shards every switch-to-switch
+        // link crosses a shard boundary, so packets cross shards on
+        // consecutive cycles — the sharpest mailbox/credit-mirror test.
+        let (net, routing) = tiny_sim();
+        let sim = Simulation::new(&net, &routing, SimConfig::quick());
+        let base = sim.run_sharded(TrafficPattern::Uniform, 0.7, 19, 1);
+        assert!(base.delivered_packets > 0, "traffic must actually flow");
+        let all = sim.run_sharded(TrafficPattern::Uniform, 0.7, 19, net.num_switches());
+        assert_eq!(base, all, "one-switch shards diverged from serial");
+        // Shard counts beyond the switch count clamp (and still match).
+        let over = sim.run_sharded(TrafficPattern::Uniform, 0.7, 19, 64);
+        assert_eq!(base, over, "over-sharding must clamp, not diverge");
+    }
+
+    #[test]
+    fn capped_reservoir_merges_byte_identically() {
+        // With far more deliveries than reservoir slots, the per-shard
+        // bottom-R reservoirs must merge to exactly the 1-shard
+        // reservoir — percentiles byte-identical at any shard count.
+        let clos = FoldedClos::cft(6, 3).unwrap();
+        let routing = UpDownRouting::new(&clos);
+        let net = SimNetwork::from_folded_clos(&clos);
+        let mut cfg = SimConfig::quick();
+        cfg.latency_reservoir = 32;
+        let sim = Simulation::new(&net, &routing, cfg);
+        let mut scratch = RunScratch::new();
+        let base = sim.run_sharded_scratch(TrafficPattern::Uniform, 0.6, 23, 1, &mut scratch);
+        assert!(
+            base.delivered_packets > 32 * 4,
+            "need the cap to actually bind ({} deliveries)",
+            base.delivered_packets
+        );
+        let base_samples = scratch.latency_samples.clone();
+        for shards in [2usize, 4] {
+            let r = sim.run_sharded_scratch(TrafficPattern::Uniform, 0.6, 23, shards, &mut scratch);
+            assert_eq!(base, r, "capped stats diverged at {shards} shards");
+            assert_eq!(
+                base_samples, scratch.latency_samples,
+                "merged reservoir contents diverged at {shards} shards"
+            );
+        }
+    }
+
+    #[test]
+    fn valiant_sharded_matches_serial() {
+        let clos = FoldedClos::cft(6, 3).unwrap();
+        let routing = UpDownRouting::new(&clos);
+        let net = SimNetwork::from_folded_clos(&clos);
+        let mut cfg = SimConfig::quick();
+        cfg.valiant_routing = true;
+        let sim = Simulation::new(&net, &routing, cfg);
+        let base = sim.run_sharded(TrafficPattern::Uniform, 0.4, 29, 1);
+        assert!(base.delivered_packets > 0);
+        assert_eq!(base, sim.run_sharded(TrafficPattern::Uniform, 0.4, 29, 3));
+    }
+
+    #[test]
+    fn live_oracle_sharded_matches_serial() {
+        let clos = FoldedClos::cft(6, 3).unwrap();
+        let routing = UpDownRouting::new(&clos);
+        let net = SimNetwork::from_folded_clos(&clos);
+        let sim = Simulation::with_table_budget(&net, &routing, SimConfig::quick(), 0);
+        let base = sim.run_sharded(TrafficPattern::Uniform, 0.5, 37, 1);
+        assert!(base.delivered_packets > 0);
+        assert_eq!(base, sim.run_sharded(TrafficPattern::Uniform, 0.5, 37, 4));
+    }
+
+    #[test]
+    fn ambient_shard_override_does_not_change_results() {
+        // `run` picks up rfc_parallel::current_shards(); because results
+        // are shard-invariant, the override must be unobservable.
+        let clos = FoldedClos::cft(6, 3).unwrap();
+        let routing = UpDownRouting::new(&clos);
+        let net = SimNetwork::from_folded_clos(&clos);
+        let sim = Simulation::new(&net, &routing, SimConfig::quick());
+        rfc_parallel::set_shards(Some(3));
+        let sharded = sim.run(TrafficPattern::Uniform, 0.4, 9);
+        rfc_parallel::set_shards(None);
+        let plain = sim.run(TrafficPattern::Uniform, 0.4, 9);
+        assert_eq!(sharded, plain);
     }
 
     #[test]
@@ -1182,6 +1431,24 @@ mod tests {
             r.delivered_packets + r.in_flight_at_end,
             "no packet may vanish"
         );
+    }
+
+    #[test]
+    fn conservation_holds_under_sharding() {
+        let clos = FoldedClos::cft(6, 3).unwrap();
+        let routing = UpDownRouting::new(&clos);
+        let net = SimNetwork::from_folded_clos(&clos);
+        let mut cfg = SimConfig::quick();
+        cfg.warmup_cycles = 0;
+        let sim = Simulation::new(&net, &routing, cfg);
+        for shards in [1usize, 4] {
+            let r = sim.run_sharded(TrafficPattern::Uniform, 0.6, 4, shards);
+            assert_eq!(
+                r.generated_packets,
+                r.delivered_packets + r.in_flight_at_end,
+                "no packet may vanish at {shards} shards"
+            );
+        }
     }
 
     #[test]

@@ -52,6 +52,7 @@
 mod config;
 mod engine;
 mod network;
+mod shard;
 mod stats;
 mod traffic;
 

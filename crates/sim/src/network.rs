@@ -93,6 +93,22 @@ impl SimNetwork {
             .map(|i| table[i].1)
     }
 
+    /// Fills `out` with, for each input port, the output port that
+    /// feeds it — `u32::MAX` for injection ports, which are filled by
+    /// their terminal. This is the map freed-buffer credits follow back
+    /// upstream in the sharded engine (each shard owns the credit
+    /// mirrors of its own output ports).
+    pub(crate) fn feeder_out_of_in_ports(&self, out: &mut Vec<u32>) {
+        out.clear();
+        out.resize(self.num_in_ports(), u32::MAX);
+        for (o, target) in self.out_target.iter().enumerate() {
+            if let OutTarget::Link { in_port, .. } = *target {
+                debug_assert_eq!(out[in_port as usize], u32::MAX, "one feeder per in port");
+                out[in_port as usize] = vid(o);
+            }
+        }
+    }
+
     /// Builds the port-level view of a folded Clos network. Routing
     /// destinations are leaf switches.
     pub fn from_folded_clos(clos: &FoldedClos) -> Self {
@@ -332,6 +348,27 @@ mod tests {
     fn overpopulation_panics() {
         let clos = FoldedClos::cft(4, 2).unwrap();
         let _ = SimNetwork::from_folded_clos_populated(&clos, 9);
+    }
+
+    #[test]
+    fn feeder_map_inverts_link_targets() {
+        let clos = FoldedClos::cft(4, 3).unwrap();
+        let net = SimNetwork::from_folded_clos(&clos);
+        let mut feeder = Vec::new();
+        net.feeder_out_of_in_ports(&mut feeder);
+        assert_eq!(feeder.len(), net.num_in_ports());
+        for (o, target) in net.out_target.iter().enumerate() {
+            if let OutTarget::Link { in_port, .. } = *target {
+                assert_eq!(feeder[in_port as usize] as usize, o);
+            }
+        }
+        for t in 0..net.num_terminals() {
+            assert_eq!(
+                feeder[net.inject_port_of_terminal[t] as usize],
+                u32::MAX,
+                "injection ports have no upstream feeder"
+            );
+        }
     }
 
     #[test]

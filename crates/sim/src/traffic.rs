@@ -126,6 +126,12 @@ impl TrafficState {
 
     /// Destination for a packet generated at `src`, or `None` if `src`
     /// does not transmit under this pattern.
+    ///
+    /// Called from the engine's injection loop with the *per-switch*
+    /// injection generator (DESIGN.md §13): any draws consumed here are
+    /// part of that switch's private sequence, so destinations are
+    /// independent of how switches are partitioned into shards.
+    #[inline]
     pub(crate) fn dest<R: Rng + ?Sized>(&self, src: u32, rng: &mut R) -> Option<u32> {
         match self {
             TrafficState::Uniform { terminals } => {
