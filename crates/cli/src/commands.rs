@@ -5,7 +5,7 @@ use std::io::Write;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
-use rfc_net::graph::traversal;
+use rfc_net::graph::{self, traversal};
 use rfc_net::parallel;
 use rfc_net::sim::{RunScratch, SimConfig, SimNetwork, Simulation, TrafficPattern};
 use rfc_net::theory;
@@ -49,7 +49,7 @@ pub fn build(parsed: &Parsed) -> Result<BuiltNetwork, CliError> {
         }
         "cft" => BuiltNetwork::Clos(FoldedClos::cft(radix, levels)?),
         "oft" => {
-            let order: u32 = parsed.num("order", (radix / 2).saturating_sub(1) as u32)?;
+            let order: u32 = parsed.num("order", graph::vid((radix / 2).saturating_sub(1)))?;
             BuiltNetwork::Clos(FoldedClos::oft(order, levels)?)
         }
         "kary" => {

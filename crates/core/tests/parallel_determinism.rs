@@ -177,6 +177,42 @@ fn report_text_is_byte_identical_across_shard_counts() {
 }
 
 #[test]
+fn report_text_is_byte_identical_at_a_non_divisor_shard_count() {
+    // 3 does not divide the Small-scale switch counts, so the partition
+    // is uneven: the greedy balancer hands some shards one more switch
+    // than others, and every remainder-handling path must still yield
+    // the serial report byte for byte.
+    let mut rng = StdRng::seed_from_u64(9);
+    let scenario = equal_resources(Scale::Small, &mut rng).unwrap();
+    for snet in &scenario.nets {
+        let switches = rfc_net::sim::SimNetwork::from_folded_clos(&snet.clos).num_switches();
+        assert!(
+            !switches.is_multiple_of(3),
+            "{}: {switches} switches is divisible by 3; the fixture no \
+             longer exercises the non-divisor path",
+            snet.label
+        );
+    }
+    let prepared = PreparedScenario::prepare(scenario);
+    let mut cfg = SimConfig::quick();
+    cfg.warmup_cycles = 100;
+    cfg.measure_cycles = 300;
+    let render = || {
+        simfig::report(
+            &prepared,
+            &[TrafficPattern::Uniform],
+            &[0.3, 0.7],
+            cfg,
+            5,
+            "determinism-check",
+        )
+        .unwrap()
+        .to_text()
+    };
+    assert_shard_invariant(3, render);
+}
+
+#[test]
 fn report_text_is_byte_identical_across_thread_counts() {
     // End to end: the rendered report (what `write_csv` serializes) must
     // match byte for byte, not just the floating-point values.

@@ -82,6 +82,6 @@ mod vid_tests {
     #[test]
     #[should_panic(expected = "exceeds the u32 vertex space")]
     fn vid_panics_on_overflow() {
-        vid(u32::MAX as usize + 1);
+        let _ = vid(u32::MAX as usize + 1);
     }
 }

@@ -38,7 +38,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
-use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::Mutex;
 
 /// Chunk size for work claiming: workers grab jobs in batches of this
@@ -128,11 +128,22 @@ pub fn current_shards() -> usize {
 /// iteration, so oversubscribed configurations (more shards than cores)
 /// degrade to scheduler-cooperative waiting instead of burning a core
 /// per blocked party.
+///
+/// # Poisoning
+///
+/// A party that panics between barrier phases would leave its peers
+/// waiting for a generation that never comes. Workers therefore hold a
+/// [`PoisonGuard`] (see [`SpinBarrier::guard`]): when one unwinds mid-
+/// protocol it poisons the barrier, and every waiter's fallback path
+/// checks the flag and panics instead of yielding forever. The check
+/// lives only in the post-spin branch, so the panic-free fast path
+/// (peer arrives within the spin burst) costs nothing extra.
 #[derive(Debug)]
 pub struct SpinBarrier {
     parties: usize,
     arrived: AtomicUsize,
     generation: AtomicU64,
+    poisoned: AtomicBool,
 }
 
 impl SpinBarrier {
@@ -144,6 +155,7 @@ impl SpinBarrier {
             parties,
             arrived: AtomicUsize::new(0),
             generation: AtomicU64::new(0),
+            poisoned: AtomicBool::new(false),
         }
     }
 
@@ -153,6 +165,12 @@ impl SpinBarrier {
     /// Release/Acquire pairing on both atomics makes every write a
     /// thread performed before the barrier visible to every thread
     /// after it, which is what the mailbox exchange relies on.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the barrier is [poisoned](SpinBarrier::poison) while
+    /// waiting, so a peer's panic fails the whole worker team fast
+    /// instead of hanging it.
     pub fn wait(&self) {
         if self.parties == 1 {
             return;
@@ -171,8 +189,42 @@ impl SpinBarrier {
                 spins += 1;
                 std::hint::spin_loop();
             } else {
+                assert!(
+                    !self.poisoned.load(Ordering::Acquire),
+                    "SpinBarrier poisoned: a peer worker panicked between barrier phases"
+                );
                 std::thread::yield_now();
             }
+        }
+    }
+
+    /// Marks the barrier poisoned: every current and future waiter's
+    /// fallback path will panic instead of waiting for a release that
+    /// can no longer happen.
+    pub fn poison(&self) {
+        self.poisoned.store(true, Ordering::Release);
+    }
+
+    /// An RAII guard that [poisons](SpinBarrier::poison) the barrier if
+    /// it is dropped during a panic unwind. Every worker of a lockstep
+    /// team should hold one for its whole closure body.
+    #[must_use]
+    pub fn guard(&self) -> PoisonGuard<'_> {
+        PoisonGuard { barrier: self }
+    }
+}
+
+/// RAII handle from [`SpinBarrier::guard`]: poisons the barrier when
+/// dropped mid-panic, so surviving parties unwind instead of hanging.
+#[derive(Debug)]
+pub struct PoisonGuard<'a> {
+    barrier: &'a SpinBarrier,
+}
+
+impl Drop for PoisonGuard<'_> {
+    fn drop(&mut self) {
+        if std::thread::panicking() {
+            self.barrier.poison();
         }
     }
 }
@@ -187,10 +239,10 @@ impl SpinBarrier {
 /// the caller's thread — no threads, no atomics.
 ///
 /// Worker panics are re-raised on the caller with their original
-/// payload. Note that a panic *between* barrier phases can leave the
-/// surviving workers waiting; `f` should not panic in normal operation
-/// (the engine only does so on internal invariant violations, where a
-/// hang-then-abort is acceptable).
+/// payload. A panic *between* barrier phases would leave the surviving
+/// workers waiting; teams coordinating through a [`SpinBarrier`] must
+/// therefore hold a [`PoisonGuard`] ([`SpinBarrier::guard`]) so peers
+/// fail fast instead of hanging (the engine's workers do).
 pub fn run_shard_workers<T, F>(states: &mut [T], f: F)
 where
     T: Send,
@@ -447,7 +499,9 @@ mod tests {
     #[test]
     fn spin_barrier_synchronizes_rounds() {
         const PARTIES: usize = 4;
-        const ROUNDS: usize = 200;
+        // Miri executes this orders of magnitude slower; fewer rounds
+        // still cross every barrier path.
+        const ROUNDS: usize = if cfg!(miri) { 10 } else { 200 };
         let barrier = SpinBarrier::new(PARTIES);
         let counter = AtomicUsize::new(0);
         let mut states: Vec<Vec<usize>> = vec![Vec::new(); PARTIES];
@@ -473,6 +527,38 @@ mod tests {
         for _ in 0..10 {
             barrier.wait();
         }
+    }
+
+    #[test]
+    fn panicking_worker_poisons_the_barrier() {
+        // Regression: without poisoning, workers 1 and 2 yield forever
+        // at their second wait once worker 0 dies between phases, and
+        // this test times out instead of completing. Run the whole team
+        // on a helper thread so a hang fails the test rather than
+        // wedging the harness.
+        let (tx, rx) = std::sync::mpsc::channel();
+        std::thread::spawn(move || {
+            let caught = std::panic::catch_unwind(|| {
+                let barrier = SpinBarrier::new(3);
+                let mut states = vec![(); 3];
+                run_shard_workers(&mut states, |index, ()| {
+                    let _poison = barrier.guard();
+                    barrier.wait();
+                    if index == 0 {
+                        panic!("worker 0 dies between barrier phases");
+                    }
+                    for _ in 0..1000 {
+                        barrier.wait();
+                    }
+                });
+            });
+            tx.send(caught.is_err())
+                .expect("the test thread waits on the channel");
+        });
+        let panicked = rx
+            .recv_timeout(std::time::Duration::from_secs(60))
+            .expect("surviving workers must fail fast, not hang");
+        assert!(panicked, "the worker panic must propagate to the caller");
     }
 
     #[test]

@@ -54,12 +54,13 @@ impl ShortestPathOracle {
     pub fn new(graph: &Csr) -> Self {
         let n = graph.num_vertices();
         let mut dist = vec![FAR; n * n];
-        for src in 0..n as u32 {
+        for src in 0..rfc_graph::vid(n) {
             let d = bfs_distances(graph, src);
             for (v, &dv) in d.iter().enumerate() {
                 if dv != UNREACHABLE {
-                    assert!(dv < u16::MAX as u32 - 1, "distance overflow");
-                    dist[src as usize * n + v] = dv as u16;
+                    let short = u16::try_from(dv).expect("finite distance exceeds u16");
+                    assert!(short < FAR - 1, "distance overflow");
+                    dist[src as usize * n + v] = short;
                 }
             }
         }

@@ -273,12 +273,12 @@ impl<'a, O: RoutingOracle + Sync> Simulation<'a, O> {
             // switch order and are stitched serially, so the table is
             // byte-identical to a serial build at any thread count.
             let per_switch: Vec<(Vec<u32>, Vec<u32>)> = rfc_parallel::map_init(
-                (0..net.num_switches() as u32).collect(),
+                (0..vid(net.num_switches())).collect(),
                 Vec::new,
                 |buf: &mut Vec<u32>, switch| {
                     let mut lens = Vec::with_capacity(dst_space);
                     let mut outs = Vec::new();
-                    for dst in 0..dst_space as u32 {
+                    for dst in 0..vid(dst_space) {
                         let before = outs.len();
                         if switch != dst {
                             buf.clear();
@@ -502,6 +502,10 @@ impl<'a, O: RoutingOracle + Sync> Simulation<'a, O> {
             let barrier = &barrier;
             let ctx = &ctx;
             rfc_parallel::run_shard_workers(shard_states, move |me, st| {
+                // A panic in the cycle loop (engine invariant failure)
+                // poisons the barrier so the other shards fail fast
+                // instead of spinning on a generation that never comes.
+                let _poison = barrier.guard();
                 for now in 0..end {
                     self.step_shard(plan, me, st, mailboxes, ctx, now);
                     // All sends for this cycle are in the mailboxes…
@@ -647,6 +651,8 @@ impl<'a, O: RoutingOracle + Sync> Simulation<'a, O> {
         let inject_port_of_terminal = net.inject_port_of_terminal.as_slice();
 
         // xtask: hot-loop-begin — the shard step must stay allocation-free
+        // xtask: lockstep-begin — runs between barrier waits every cycle;
+        // no locks, channels, sleeps, blocking I/O, or SeqCst here
         // 1. Deliver scheduled events. Drain (rather than take) the
         //    slot so its capacity survives to the next lap of the
         //    wheel. Within a slot, events commute: arrivals target
@@ -1093,6 +1099,7 @@ impl<'a, O: RoutingOracle + Sync> Simulation<'a, O> {
         }
         touched.clear();
         reqs.clear();
+        // xtask: lockstep-end
         // xtask: hot-loop-end
     }
 

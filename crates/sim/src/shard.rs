@@ -549,6 +549,9 @@ pub(crate) fn drain_mailboxes(
     v: usize,
 ) {
     // xtask: hot-loop-begin — the per-cycle drain must stay allocation-free
+    // xtask: lockstep-begin — runs between barrier waits every cycle; the
+    // mailbox `.lock()` calls are uncontended by construction (one
+    // producer, one consumer, phase-separated by the barriers)
     for src in 0..plan.shards {
         let mut mb = mailboxes[src * plan.shards + me]
             .lock()
@@ -574,6 +577,7 @@ pub(crate) fn drain_mailboxes(
             }
         }
     }
+    // xtask: lockstep-end
     // xtask: hot-loop-end
 }
 

@@ -18,7 +18,7 @@
 //!   inherits `[workspace.lints]`.
 //!
 //! `cargo xtask audit` adds three workspace-level passes on the same
-//! scanner (run both with `cargo xtask lint --all`; DESIGN.md §12):
+//! scanner (DESIGN.md §12):
 //!
 //! * **Layering** ([`layers`]) — the inter-crate dependency DAG must
 //!   match the committed `xtask-layers.toml`; upward edges and
@@ -28,6 +28,22 @@
 //!   `xtask-ratchet.toml`).
 //! * **Unsafe soundness** ([`audit`]) — every `unsafe` outside
 //!   `crates/compat` must carry a `// SAFETY:` justification.
+//!
+//! `cargo xtask conc` adds the concurrency-soundness passes over the
+//! sharded execution substrate (DESIGN.md §14; all three commands run
+//! together with `cargo xtask lint --all`):
+//!
+//! * **Atomic orderings** ([`conc`]) — every atomic operation outside
+//!   `crates/compat` spells its `Ordering::` at the call site, and
+//!   `Ordering::Relaxed` is legal only at sites enumerated in the
+//!   committed `xtask-conc.toml` allowlist (which may not drift from
+//!   the tree).
+//! * **Lockstep regions** ([`conc`]) — `lockstep-begin` / `lockstep-end`
+//!   raw-comment markers ban locks, channels, sleeps, blocking I/O,
+//!   and `SeqCst` from the per-cycle shard path.
+//! * **Sync-primitive ratchet** ([`conc`]) — per-crate lock-type and
+//!   atomic-type counts may only decrease (`sync-lock` / `sync-atomic`
+//!   keys in `xtask-ratchet.toml`).
 //!
 //! Everything is plain lexical analysis over the source tree (no `syn`,
 //! no registry dependencies), so the tool builds in the same hermetic
@@ -39,6 +55,7 @@
 
 pub mod audit;
 pub mod casts;
+pub mod conc;
 pub mod layers;
 pub mod ratchet;
 pub mod rules;
@@ -46,4 +63,5 @@ pub mod scan;
 pub mod workspace;
 
 pub use audit::{run_audit, AuditReport};
+pub use conc::{run_conc, ConcReport};
 pub use workspace::{run_lint, LintReport};

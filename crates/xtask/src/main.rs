@@ -14,15 +14,19 @@ Usage: cargo xtask <command>
 Commands:
   lint                   run the determinism, ratchet, and lint-gate checks
   lint --all             run lint plus the audit passes (layering,
-                         cast ratchet, unsafe soundness)
+                         cast ratchet, unsafe soundness) and the conc
+                         passes (atomic orderings, lockstep regions,
+                         sync ratchet)
   audit                  run only the audit passes
+  conc                   run only the concurrency-soundness passes
   counts                 print the per-crate panic-surface table
   casts                  print the per-crate cast table and every
                          unsuppressed lossy cast site
 
 Flags:
-  --write-ratchet        rewrite xtask-ratchet.toml (panic-surface and
-                         lossy-cast baselines) with the current counts
+  --write-ratchet        rewrite xtask-ratchet.toml (panic-surface,
+                         lossy-cast, and sync-primitive baselines) with
+                         the current counts
 ";
 
 fn main() -> ExitCode {
@@ -45,6 +49,7 @@ fn main() -> ExitCode {
         (["lint"], false) => lint(&root, write_ratchet, false),
         (["lint"], true) => lint(&root, write_ratchet, true),
         (["audit"], false) => audit(&root, write_ratchet),
+        (["conc"], false) => conc(&root),
         (["counts"], false) => counts(&root),
         (["casts"], false) => casts(&root),
         _ => {
@@ -88,6 +93,16 @@ fn lint(root: &std::path::Path, write_ratchet: bool, all: bool) -> ExitCode {
             Ok(audit_report) => {
                 violations.extend(audit_report.violations);
                 improvements.extend(audit_report.improvements);
+            }
+            Err(e) => {
+                eprintln!("error: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+        match xtask::run_conc(root) {
+            Ok(conc_report) => {
+                violations.extend(conc_report.violations);
+                improvements.extend(conc_report.improvements);
             }
             Err(e) => {
                 eprintln!("error: {e}");
@@ -146,6 +161,34 @@ fn audit(root: &std::path::Path, write_ratchet: bool) -> ExitCode {
         ExitCode::SUCCESS
     } else {
         eprintln!("xtask audit: {} violation(s)", report.violations.len());
+        ExitCode::FAILURE
+    }
+}
+
+fn conc(root: &std::path::Path) -> ExitCode {
+    let report = match xtask::run_conc(root) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    for note in &report.improvements {
+        println!("note: {note}");
+    }
+    for (path, v) in &report.violations {
+        eprintln!("error[{}]: {}:{}: {}", v.rule, path, v.line, v.message);
+    }
+    if report.is_clean() {
+        println!(
+            "xtask conc: clean ({} crates checked, {} lock / {} atomic sites)",
+            report.sync_counts.len(),
+            report.sync_counts.values().map(|c| c.lock).sum::<usize>(),
+            report.sync_counts.values().map(|c| c.atomic).sum::<usize>()
+        );
+        ExitCode::SUCCESS
+    } else {
+        eprintln!("xtask conc: {} violation(s)", report.violations.len());
         ExitCode::FAILURE
     }
 }

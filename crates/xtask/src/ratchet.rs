@@ -2,20 +2,23 @@
 //!
 //! The baseline records, per crate, how many `.unwrap()` / `.expect(` /
 //! panic-macro sites exist in non-test code (enforced by `cargo xtask
-//! lint`) and how many potentially-lossy `as` casts (enforced by
-//! `cargo xtask audit`, see [`crate::casts`]). Either check fails when
-//! its count *rises* above the baseline, and reports (without failing)
-//! when a count has dropped so the baseline can be tightened with
-//! `--write-ratchet`. The file is parsed with a purpose-built reader
-//! rather than a TOML dependency: the format is a fixed
-//! `[crate.<name>]` table of integer keys.
+//! lint`), how many potentially-lossy `as` casts (enforced by
+//! `cargo xtask audit`, see [`crate::casts`]), and how many lock-type /
+//! atomic-type sync primitives (enforced by `cargo xtask conc`, see
+//! [`crate::conc`]). Each check fails when its count *rises* above the
+//! baseline, and reports (without failing) when a count has dropped so
+//! the baseline can be tightened with `--write-ratchet`. The file is
+//! parsed with a purpose-built reader rather than a TOML dependency:
+//! the format is a fixed `[crate.<name>]` table of integer keys.
 
 use std::collections::BTreeMap;
 
 use crate::casts::CastCounts;
+use crate::conc::SyncCounts;
 use crate::rules::PanicCounts;
 
-/// Per-crate baseline: the panic surface plus the lossy-cast count.
+/// Per-crate baseline: the panic surface plus the lossy-cast and
+/// sync-primitive counts.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct BaselineCounts {
     /// Panic-surface portion (ratcheted by `cargo xtask lint`).
@@ -23,6 +26,9 @@ pub struct BaselineCounts {
     /// Potentially-lossy cast count (ratcheted by `cargo xtask audit`).
     /// Files written before the audit existed default to 0.
     pub lossy_cast: usize,
+    /// Sync-primitive counts (ratcheted by `cargo xtask conc`). Files
+    /// written before the conc pass existed default to 0.
+    pub sync: SyncCounts,
 }
 
 /// Parses the ratchet file. Returns crate name → baseline counts, or a
@@ -64,32 +70,39 @@ pub fn parse(text: &str) -> Result<BTreeMap<String, BaselineCounts>, String> {
             "expect" => entry.panic.expect = n,
             "panic" => entry.panic.panic = n,
             "lossy-cast" => entry.lossy_cast = n,
+            "sync-lock" => entry.sync.lock = n,
+            "sync-atomic" => entry.sync.atomic = n,
             other => return Err(format!("line {}: unknown key `{other}`", idx + 1)),
         }
     }
     Ok(out)
 }
 
-/// Renders a baseline back to the canonical file format from the two
+/// Renders a baseline back to the canonical file format from the three
 /// measured tables (which cover the same crate set).
 pub fn render(
     panic: &BTreeMap<String, PanicCounts>,
     casts: &BTreeMap<String, CastCounts>,
+    sync: &BTreeMap<String, SyncCounts>,
 ) -> String {
     let mut out = String::from(
         "# Ratchet baselines enforced by the in-tree analyzer.\n\
          #\n\
          # unwrap/expect/panic cover `.unwrap()`, `.expect(` and panic!-family\n\
          # macros in NON-TEST code (`cargo xtask lint`); lossy-cast counts\n\
-         # potentially-lossy `as` casts (`cargo xtask audit`, DESIGN.md §12).\n\
+         # potentially-lossy `as` casts (`cargo xtask audit`, DESIGN.md §12);\n\
+         # sync-lock/sync-atomic count lock-type and atomic-type mentions\n\
+         # (`cargo xtask conc`, DESIGN.md §14).\n\
          # Each ratchet only turns one way: a count may drop (tighten with\n\
          # `cargo xtask lint --all --write-ratchet`) but any increase fails.\n",
     );
     for (name, counts) in panic {
         let lossy = casts.get(name).map(|c| c.lossy).unwrap_or(0);
+        let s = sync.get(name).copied().unwrap_or_default();
         out.push_str(&format!(
-            "\n[crate.{name}]\nunwrap = {}\nexpect = {}\npanic = {}\nlossy-cast = {lossy}\n",
-            counts.unwrap, counts.expect, counts.panic
+            "\n[crate.{name}]\nunwrap = {}\nexpect = {}\npanic = {}\nlossy-cast = {lossy}\n\
+             sync-lock = {}\nsync-atomic = {}\n",
+            counts.unwrap, counts.expect, counts.panic, s.lock, s.atomic
         ));
     }
     out
@@ -188,6 +201,52 @@ pub fn compare_lossy(
     (failures, improvements)
 }
 
+/// Compares the measured sync-primitive counts against the baseline
+/// (`cargo xtask conc`). Same one-way contract as [`compare`].
+pub fn compare_sync(
+    baseline: &BTreeMap<String, BaselineCounts>,
+    measured: &BTreeMap<String, SyncCounts>,
+) -> (Vec<String>, Vec<String>) {
+    let mut failures = Vec::new();
+    let mut improvements = Vec::new();
+    for (name, have) in measured {
+        let Some(want) = baseline.get(name) else {
+            failures.push(format!(
+                "crate `{name}` is missing from xtask-ratchet.toml (found {} sync sites); \
+                 add it with `cargo xtask lint --all --write-ratchet`",
+                have.total()
+            ));
+            continue;
+        };
+        for (kind, h, w) in [
+            ("sync-lock", have.lock, want.sync.lock),
+            ("sync-atomic", have.atomic, want.sync.atomic),
+        ] {
+            if h > w {
+                failures.push(format!(
+                    "crate `{name}`: {kind} count rose to {h} (baseline {w}); new \
+                     concurrency surface must be deliberate — justify the growth and \
+                     re-baseline with `cargo xtask lint --all --write-ratchet`"
+                ));
+            } else if h < w {
+                improvements.push(format!(
+                    "crate `{name}`: {kind} count is {h}, below baseline {w} — \
+                     tighten with `cargo xtask lint --all --write-ratchet`"
+                ));
+            }
+        }
+    }
+    for name in baseline.keys() {
+        if !measured.contains_key(name) {
+            failures.push(format!(
+                "xtask-ratchet.toml lists crate `{name}` which is not in the workspace; \
+                 remove it with `cargo xtask lint --all --write-ratchet`"
+            ));
+        }
+    }
+    (failures, improvements)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -204,7 +263,12 @@ mod tests {
         BaselineCounts {
             panic: counts(unwrap, expect, panic),
             lossy_cast: lossy,
+            sync: SyncCounts::default(),
         }
+    }
+
+    fn sync(lock: usize, atomic: usize) -> SyncCounts {
+        SyncCounts { lock, atomic }
     }
 
     fn lossy(n: usize) -> CastCounts {
@@ -222,14 +286,31 @@ mod tests {
         let mut casts = BTreeMap::new();
         casts.insert("core".to_string(), lossy(7));
         casts.insert("sim".to_string(), lossy(0));
-        let text = render(&panic, &casts);
+        let mut syncs = BTreeMap::new();
+        syncs.insert("core".to_string(), sync(1, 0));
+        syncs.insert("sim".to_string(), sync(2, 3));
+        let text = render(&panic, &casts, &syncs);
         let parsed = parse(&text).expect("rendered file must parse");
-        assert_eq!(parsed["core"], baseline(3, 5, 1, 7));
-        assert_eq!(parsed["sim"], baseline(0, 4, 2, 0));
+        assert_eq!(
+            parsed["core"],
+            BaselineCounts {
+                panic: counts(3, 5, 1),
+                lossy_cast: 7,
+                sync: sync(1, 0),
+            }
+        );
+        assert_eq!(
+            parsed["sim"],
+            BaselineCounts {
+                panic: counts(0, 4, 2),
+                lossy_cast: 0,
+                sync: sync(2, 3),
+            }
+        );
     }
 
     #[test]
-    fn parse_accepts_pre_audit_files_without_lossy_key() {
+    fn parse_accepts_pre_audit_files_without_newer_keys() {
         let parsed = parse("[crate.a]\nunwrap = 1\nexpect = 2\npanic = 0\n")
             .expect("pre-audit files must stay parseable");
         assert_eq!(parsed["a"], baseline(1, 2, 0, 0));
@@ -282,5 +363,30 @@ mod tests {
             .any(|f| f.contains("lossy-cast count rose to 6")));
         assert_eq!(improvements.len(), 1);
         assert!(improvements[0].contains("lossy-cast count is 1"));
+    }
+
+    #[test]
+    fn compare_sync_flags_regressions_and_improvements() {
+        let mut base = BTreeMap::new();
+        base.insert(
+            "a".to_string(),
+            BaselineCounts {
+                sync: sync(1, 4),
+                ..BaselineCounts::default()
+            },
+        );
+        base.insert("gone".to_string(), baseline(0, 0, 0, 0));
+        let mut measured = BTreeMap::new();
+        measured.insert("a".to_string(), sync(2, 3));
+        measured.insert("new".to_string(), sync(0, 0));
+        let (failures, improvements) = compare_sync(&base, &measured);
+        assert_eq!(failures.len(), 3, "{failures:?}");
+        assert!(failures
+            .iter()
+            .any(|f| f.contains("sync-lock count rose to 2")));
+        assert!(failures.iter().any(|f| f.contains("missing from")));
+        assert!(failures.iter().any(|f| f.contains("not in the workspace")));
+        assert_eq!(improvements.len(), 1);
+        assert!(improvements[0].contains("sync-atomic count is 3"));
     }
 }

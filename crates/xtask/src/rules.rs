@@ -32,6 +32,15 @@ pub const RULE_UNSAFE_SOUNDNESS: &str = "unsafe-soundness";
 /// Rule name for inter-crate dependency edges that violate the layer
 /// graph committed in `xtask-layers.toml` (`cargo xtask audit`).
 pub const RULE_LAYERING: &str = "layering";
+/// Rule name for atomic operations that do not spell an ordering at the
+/// call site (`cargo xtask conc`, see [`crate::conc`]).
+pub const RULE_ATOMIC_ORDERING: &str = "atomic-ordering";
+/// Rule name for `Ordering::Relaxed` sites outside the committed
+/// `xtask-conc.toml` allowlist (`cargo xtask conc`).
+pub const RULE_RELAXED_ORDERING: &str = "relaxed-ordering";
+/// Rule name for blocking/over-synchronizing constructs inside a
+/// marked lockstep region (`cargo xtask conc`).
+pub const RULE_LOCKSTEP_REGION: &str = "lockstep-region";
 
 /// Raw-comment marker opening a hot-loop region (e.g. the simulator's
 /// cycle loop): until the matching end marker, allocating calls are
@@ -39,6 +48,13 @@ pub const RULE_LAYERING: &str = "layering";
 pub const HOT_LOOP_BEGIN: &str = "xtask: hot-loop-begin";
 /// Raw-comment marker closing a hot-loop region.
 pub const HOT_LOOP_END: &str = "xtask: hot-loop-end";
+
+/// Raw-comment marker opening a lockstep region (the per-cycle shard
+/// path between barrier waits): until the matching end marker, blocking
+/// and over-synchronizing constructs are banned (see [`crate::conc`]).
+pub const LOCKSTEP_BEGIN: &str = "xtask: lockstep-begin";
+/// Raw-comment marker closing a lockstep region.
+pub const LOCKSTEP_END: &str = "xtask: lockstep-end";
 
 /// One rule violation, positioned for `path:line` diagnostics.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -244,7 +260,7 @@ fn expect_has_message(lines: &[ScannedLine], idx: usize, col: usize) -> bool {
 
 /// Occurrences of `needle` in `hay` as a standalone token (not embedded
 /// in a longer identifier / path segment).
-fn count_token(hay: &str, needle: &str) -> usize {
+pub(crate) fn count_token(hay: &str, needle: &str) -> usize {
     let mut n = 0;
     let mut from = 0;
     while let Some(at) = hay[from..].find(needle) {
@@ -263,7 +279,7 @@ fn count_token(hay: &str, needle: &str) -> usize {
 }
 
 /// Token test used by the determinism rules.
-fn contains_token(hay: &str, needle: &str) -> bool {
+pub(crate) fn contains_token(hay: &str, needle: &str) -> bool {
     count_token(hay, needle) > 0
 }
 

@@ -55,7 +55,10 @@ pub fn scan(source: &str) -> Vec<ScannedLine> {
 
     let mut out = Vec::new();
     for raw_line in source.lines() {
-        let started_in_test = test_depth.is_some();
+        // A test item that opens (or opens *and* closes) anywhere on
+        // this line marks the whole line, so single-line
+        // `#[cfg(test)] mod t { ... }` items are still exempt.
+        let mut touched_test = test_depth.is_some();
         let chars: Vec<char> = raw_line.chars().collect();
         let mut code = String::with_capacity(chars.len());
         let mut i = 0;
@@ -155,6 +158,7 @@ pub fn scan(source: &str) -> Vec<ScannedLine> {
                         if pending_test && test_depth.is_none() {
                             test_depth = Some(depth);
                             pending_test = false;
+                            touched_test = true;
                         }
                         code.push('{');
                     }
@@ -183,7 +187,7 @@ pub fn scan(source: &str) -> Vec<ScannedLine> {
         out.push(ScannedLine {
             raw: raw_line.to_string(),
             code,
-            in_test: started_in_test || test_depth.is_some() || pending_test,
+            in_test: touched_test || test_depth.is_some() || pending_test,
         });
     }
     out
@@ -308,6 +312,17 @@ mod tests {
         assert!(lines[2].in_test);
         assert!(lines[3].in_test);
         assert!(!lines[5].in_test, "region must close with its brace");
+    }
+
+    #[test]
+    fn single_line_test_item_is_marked() {
+        let src = "#[cfg(test)]\nmod tests { use std::x; }\nfn after() {}";
+        let lines = scan(src);
+        assert!(
+            lines[1].in_test,
+            "a test mod opening and closing on one line is still test code"
+        );
+        assert!(!lines[2].in_test);
     }
 
     #[test]

@@ -11,8 +11,10 @@ use std::fs;
 use std::path::{Path, PathBuf};
 
 use crate::casts::{analyze_casts, CastCounts};
+use crate::conc::{self, SyncCounts};
 use crate::ratchet;
 use crate::rules::{analyze_source, PanicCounts, Violation};
+use crate::scan::scan;
 
 /// Short names of the crates whose output must be byte-identical for a
 /// given seed; the determinism rules apply only to these.
@@ -206,6 +208,9 @@ pub struct LintReport {
     /// ratcheted by `cargo xtask audit`; measured here so
     /// `--write-ratchet` renders the complete baseline in one pass).
     pub cast_counts: BTreeMap<String, CastCounts>,
+    /// Measured non-test sync-primitive tallies per crate (ratcheted by
+    /// `cargo xtask conc`; measured here for the same reason).
+    pub sync_counts: BTreeMap<String, SyncCounts>,
     /// Counts now below the committed baseline (nudges, not failures).
     pub improvements: Vec<String>,
 }
@@ -265,7 +270,7 @@ pub fn run_lint(root: &Path, write_ratchet: bool) -> Result<LintReport, String> 
             if bin_dir.is_dir() {
                 for path in read_dir_sorted(&bin_dir)? {
                     let name = file_name(&path);
-                    if !path.extension().is_some_and(|e| e == "rs")
+                    if path.extension().is_none_or(|e| e != "rs")
                         || THIN_BIN_EXEMPT.contains(&name.as_str())
                     {
                         continue;
@@ -291,14 +296,18 @@ pub fn run_lint(root: &Path, write_ratchet: bool) -> Result<LintReport, String> 
             }
         }
 
-        // Per-file rules, panic counting, and cast tallies.
+        // Per-file rules, panic counting, and cast/sync tallies.
         let mut crate_counts = PanicCounts::default();
         let mut crate_casts = CastCounts::default();
+        let mut crate_sync = SyncCounts::default();
         for (path, test_file) in rust_files(krate)? {
             let src = fs::read_to_string(&path).map_err(|e| format!("{}: {e}", path.display()))?;
             let analysis = analyze_source(&src, krate.deterministic, test_file);
             crate_counts.add(analysis.counts);
             crate_casts.add(analyze_casts(&src, test_file).counts);
+            if !test_file {
+                crate_sync.add(conc::sync_counts(&scan(&src)));
+            }
             let display = rel_display(root, &path);
             for v in analysis.violations {
                 report.violations.push((display.clone(), v));
@@ -306,6 +315,7 @@ pub fn run_lint(root: &Path, write_ratchet: bool) -> Result<LintReport, String> 
         }
         report.counts.insert(krate.name.clone(), crate_counts);
         report.cast_counts.insert(krate.name.clone(), crate_casts);
+        report.sync_counts.insert(krate.name.clone(), crate_sync);
     }
 
     // Panic-surface ratchet.
@@ -313,7 +323,7 @@ pub fn run_lint(root: &Path, write_ratchet: bool) -> Result<LintReport, String> 
     if write_ratchet {
         fs::write(
             &ratchet_path,
-            ratchet::render(&report.counts, &report.cast_counts),
+            ratchet::render(&report.counts, &report.cast_counts, &report.sync_counts),
         )
         .map_err(|e| format!("{}: {e}", ratchet_path.display()))?;
     } else {

@@ -1,0 +1,265 @@
+//! Integration tests for `cargo xtask conc`.
+//!
+//! Two halves, mirroring `audit_integration.rs`: (1) the real workspace
+//! must pass the concurrency-soundness passes clean; (2) a committed
+//! fixture workspace (`tests/fixtures/conc-clean/`) passes clean as-is,
+//! and mutations of a copy of it must trip each pass — an off-allowlist
+//! `Relaxed`, an atomic call without an explicit ordering, a lock type
+//! inside a lockstep region, a sync-ratchet regression, and allowlist
+//! drift — each with a `path:line` diagnostic.
+
+use std::fs;
+use std::path::{Path, PathBuf};
+
+use xtask::rules::Violation;
+use xtask::run_conc;
+
+/// The real repository root (two levels above this crate).
+fn repo_root() -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR"))
+        .parent()
+        .and_then(Path::parent)
+        .expect("crates/xtask sits two levels below the repo root")
+        .to_path_buf()
+}
+
+#[test]
+fn the_real_tree_passes_conc_clean() {
+    let report = run_conc(&repo_root()).expect("conc must run on the real tree");
+    assert!(
+        report.is_clean(),
+        "the committed tree must pass its own concurrency audit; violations: {:#?}",
+        report.violations
+    );
+    // The barrier/override machinery keeps rfc-parallel the workspace's
+    // atomic hot spot; if this count hits zero the pass went blind.
+    let parallel = &report.sync_counts["parallel"];
+    assert!(
+        parallel.atomic >= 4,
+        "rfc-parallel's atomics vanished from the tally: {parallel:?}"
+    );
+}
+
+/// Copies the committed `conc-clean` fixture into a fresh tmpdir so a
+/// test can mutate it without touching the source tree.
+fn fixture_copy(tag: &str) -> PathBuf {
+    let src = Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/fixtures/conc-clean");
+    let dst = Path::new(env!("CARGO_TARGET_TMPDIR")).join(format!("conc-fixture-{tag}"));
+    if dst.exists() {
+        fs::remove_dir_all(&dst).expect("stale fixture must be removable");
+    }
+    copy_tree(&src, &dst);
+    dst
+}
+
+fn copy_tree(src: &Path, dst: &Path) {
+    fs::create_dir_all(dst).expect("fixture mkdir");
+    for entry in fs::read_dir(src).expect("fixture read_dir") {
+        let entry = entry.expect("fixture dir entry");
+        let to = dst.join(entry.file_name());
+        if entry.path().is_dir() {
+            copy_tree(&entry.path(), &to);
+        } else {
+            fs::copy(entry.path(), &to).expect("fixture copy");
+        }
+    }
+}
+
+/// Violations for one rule as `(display path, violation)` pairs.
+fn of_rule<'a>(report: &'a xtask::ConcReport, rule: &str) -> Vec<(&'a String, &'a Violation)> {
+    report
+        .violations
+        .iter()
+        .filter(|(_, v)| v.rule == rule)
+        .map(|(p, v)| (p, v))
+        .collect()
+}
+
+/// Appends `extra` to the fixture engine's lib.rs and returns the
+/// 1-based line number of the first appended line.
+fn append_to_engine(root: &Path, extra: &str) -> usize {
+    let lib = root.join("crates/engine/src/lib.rs");
+    let text = fs::read_to_string(&lib).expect("fixture lib.rs");
+    let first_new_line = text.lines().count() + 1;
+    fs::write(&lib, format!("{text}{extra}")).expect("fixture write");
+    first_new_line
+}
+
+#[test]
+fn the_committed_fixture_is_conc_clean() {
+    let root = fixture_copy("clean");
+    let report = run_conc(&root).expect("fixture conc must run");
+    assert!(report.is_clean(), "{:#?}", report.violations);
+    let engine = &report.sync_counts["engine"];
+    assert_eq!((engine.lock, engine.atomic), (2, 3), "tally drifted");
+}
+
+#[test]
+fn relaxed_outside_the_allowlist_fails_with_its_line() {
+    let root = fixture_copy("relaxed");
+    let at = append_to_engine(
+        &root,
+        "\n/// Extra: an unenumerated Relaxed site.\npub fn reset() {\n    CYCLE.store(0, Ordering::Relaxed);\n}\n",
+    ) + 3;
+    let report = run_conc(&root).expect("fixture conc must run");
+    let hits = of_rule(&report, "relaxed-ordering");
+    assert_eq!(hits.len(), 1, "{:#?}", report.violations);
+    let (path, v) = hits[0];
+    assert_eq!(path.as_str(), "crates/engine/src/lib.rs");
+    assert_eq!(v.line, at);
+    assert!(
+        v.message.contains("xtask-conc.toml") && v.message.contains("allow(relaxed-ordering)"),
+        "the diagnostic must name both escape hatches: {}",
+        v.message
+    );
+
+    // An inline allow directive with a reason covers the site.
+    let lib = root.join("crates/engine/src/lib.rs");
+    let text = fs::read_to_string(&lib).expect("fixture lib.rs");
+    fs::write(
+        &lib,
+        text.replace(
+            "CYCLE.store(0, Ordering::Relaxed);",
+            "// xtask: allow(relaxed-ordering) — fixture: reset is single-threaded\n    CYCLE.store(0, Ordering::Relaxed);",
+        ),
+    )
+    .expect("fixture write");
+    let report = run_conc(&root).expect("fixture conc must run");
+    assert!(report.is_clean(), "{:#?}", report.violations);
+}
+
+#[test]
+fn an_atomic_call_without_an_ordering_fails_with_its_line() {
+    let root = fixture_copy("ordering");
+    // No atomic-type or `Relaxed` tokens: only rule 1b should fire.
+    let at = append_to_engine(
+        &root,
+        "\n/// Extra: hides its ordering behind a helper.\npub fn bump() {\n    counter().fetch_add(1, implicit());\n}\n",
+    ) + 3;
+    let report = run_conc(&root).expect("fixture conc must run");
+    let hits = of_rule(&report, "atomic-ordering");
+    assert_eq!(hits.len(), 1, "{:#?}", report.violations);
+    let (path, v) = hits[0];
+    assert_eq!(path.as_str(), "crates/engine/src/lib.rs");
+    assert_eq!(v.line, at);
+    assert!(
+        v.message.contains(".fetch_add(") && v.message.contains("Ordering::"),
+        "{}",
+        v.message
+    );
+    assert_eq!(report.violations.len(), 1, "{:#?}", report.violations);
+}
+
+#[test]
+fn a_lock_type_inside_the_lockstep_region_fails_with_its_line() {
+    let root = fixture_copy("lockstep");
+    let lib = root.join("crates/engine/src/lib.rs");
+    let text = fs::read_to_string(&lib).expect("fixture lib.rs");
+    let marker = "    CYCLE.fetch_add(1, Ordering::AcqRel);\n";
+    let at = text
+        .lines()
+        .position(|l| l.contains("CYCLE.fetch_add"))
+        .expect("fixture has the lockstep fetch_add")
+        + 2;
+    fs::write(
+        &lib,
+        text.replace(
+            marker,
+            "    CYCLE.fetch_add(1, Ordering::AcqRel);\n    let gate = Mutex::new(0u32);\n",
+        ),
+    )
+    .expect("fixture write");
+    let report = run_conc(&root).expect("fixture conc must run");
+    let hits = of_rule(&report, "lockstep-region");
+    assert_eq!(hits.len(), 1, "{:#?}", report.violations);
+    let (path, v) = hits[0];
+    assert_eq!(path.as_str(), "crates/engine/src/lib.rs");
+    assert_eq!(v.line, at);
+    assert!(
+        v.message.contains("`Mutex`") && v.message.contains("lockstep region"),
+        "{}",
+        v.message
+    );
+    // The new Mutex mention also trips the sync ratchet — both layers
+    // of defense fire on the same regression.
+    assert!(
+        of_rule(&report, "ratchet")
+            .iter()
+            .any(|(_, v)| v.message.contains("sync-lock count rose to 3")),
+        "{:#?}",
+        report.violations
+    );
+}
+
+#[test]
+fn new_sync_primitives_above_the_baseline_fail_the_ratchet() {
+    let root = fixture_copy("ratchet");
+    // A lock type outside any lockstep region: legal placement, but
+    // concurrency surface may only grow deliberately.
+    append_to_engine(
+        &root,
+        "\n/// Extra: new shared state behind a reader-writer lock.\npub static TABLE: RwLock<Vec<u64>> = RwLock::new(Vec::new());\n",
+    );
+    let report = run_conc(&root).expect("fixture conc must run");
+    let hits = of_rule(&report, "ratchet");
+    assert_eq!(hits.len(), 1, "{:#?}", report.violations);
+    let (path, v) = hits[0];
+    assert_eq!(path.as_str(), "xtask-ratchet.toml");
+    assert!(
+        v.message.contains("`engine`")
+            && v.message.contains("sync-lock count rose to 4")
+            && v.message.contains("--write-ratchet"),
+        "{}",
+        v.message
+    );
+    assert_eq!(report.violations.len(), 1, "{:#?}", report.violations);
+}
+
+#[test]
+fn a_stale_allowlist_entry_fails_the_drift_check() {
+    let root = fixture_copy("drift");
+    let conc = root.join("xtask-conc.toml");
+    let text = fs::read_to_string(&conc).expect("fixture allowlist");
+    let entry_line = text.lines().count() + 2;
+    fs::write(
+        &conc,
+        format!(
+            "{text}\n[[relaxed]]\nfile = \"crates/engine/src/lib.rs\"\n\
+             contains = \"NO_SUCH_SITE.load(Ordering::Relaxed)\"\nreason = \"stale\"\n"
+        ),
+    )
+    .expect("fixture write");
+    let report = run_conc(&root).expect("fixture conc must run");
+    let hits = of_rule(&report, "relaxed-ordering");
+    assert_eq!(hits.len(), 1, "{:#?}", report.violations);
+    let (path, v) = hits[0];
+    assert_eq!(path.as_str(), "xtask-conc.toml");
+    assert_eq!(v.line, entry_line);
+    assert!(
+        v.message.contains("stale allowlist entry") && v.message.contains("NO_SUCH_SITE"),
+        "{}",
+        v.message
+    );
+}
+
+#[test]
+fn a_missing_allowlist_fails_closed() {
+    let root = fixture_copy("missing");
+    fs::remove_file(root.join("xtask-conc.toml")).expect("fixture rm");
+    let report = run_conc(&root).expect("fixture conc must run");
+    // The file's absence is a violation in itself, and the fixture's
+    // Relaxed site loses its only cover.
+    let hits = of_rule(&report, "relaxed-ordering");
+    assert!(
+        hits.iter()
+            .any(|(p, v)| p.as_str() == "xtask-conc.toml" && v.message.contains("cannot read")),
+        "{:#?}",
+        report.violations
+    );
+    assert!(
+        hits.iter()
+            .any(|(p, _)| p.as_str() == "crates/engine/src/lib.rs"),
+        "{:#?}",
+        report.violations
+    );
+}
