@@ -18,6 +18,8 @@
 //! cargo run --release -p rfc-bench --bin engine_baseline -- --scale small \
 //!     --shards 1,2 --check BENCH_sim.json --out target/BENCH_sim.json
 //!                                                                   # CI smoke: >2x regression fails
+//! cargo run --release -p rfc-bench --bin engine_baseline -- --scale large --table-only
+//!                                                                   # build-only: table kind + bytes
 //! ```
 //!
 //! The workload itself is scale-keyed (CFT topology, uniform traffic at
@@ -37,6 +39,7 @@
 
 use std::process::ExitCode;
 
+use rfc_net::graph::HeapBytes;
 use rfc_net::routing::UpDownRouting;
 use rfc_net::sim::{SimConfig, SimNetwork, Simulation, TrafficPattern};
 use rfc_net::topology::FoldedClos;
@@ -80,9 +83,10 @@ const MEDIUM: Workload = Workload {
 };
 
 /// The "large" scale: cft(36, 4) = 209,952 terminals on 40,824
-/// radix-36 switches — past the candidate-table budget, so this also
-/// exercises the live-oracle path. Short window: one cycle here touches
-/// ~200x the state of a medium cycle.
+/// radix-36 switches. The deduplicated candidate table (DESIGN.md §15)
+/// keeps even this scale inside the byte budget, so it runs the
+/// materialized path like the others. Short window: one cycle here
+/// touches ~200x the state of a medium cycle.
 const LARGE: Workload = Workload {
     name: "large",
     radix: 36,
@@ -111,6 +115,13 @@ struct Measurement {
     sharded: Vec<(usize, f64)>,
     routing_build_ms: f64,
     table_build_ms: f64,
+    /// "deduped" when the candidate table materialized, "live" when the
+    /// simulation fell back to per-request oracle queries.
+    table: &'static str,
+    /// Logical bytes of routing state (reach sets + CSR adjacency +
+    /// candidate table) per terminal, rounded up — the per-scale memory
+    /// figure ratcheted in `xtask-ratchet.toml`.
+    routing_bytes_per_terminal: usize,
     accepted_load: f64,
 }
 
@@ -119,6 +130,51 @@ struct Measurement {
 #[allow(clippy::disallowed_methods)]
 fn now() -> std::time::Instant {
     std::time::Instant::now()
+}
+
+/// Builds a workload's network, routing, and candidate table without
+/// simulating — the cheap half of [`measure`], enough to answer "does
+/// this scale materialize the table, and at what memory cost?".
+/// `--table-only` uses it so CI can assert the `large` table
+/// materializes without paying minutes of saturated simulation.
+fn build_report(w: &Workload) {
+    let clos = match FoldedClos::cft(w.radix, w.levels) {
+        Ok(c) => c,
+        Err(e) => {
+            eprintln!("error: workload topology: {e}");
+            std::process::exit(1);
+        }
+    };
+    let net = SimNetwork::from_folded_clos(&clos);
+
+    let t0 = now();
+    let routing = UpDownRouting::new(&clos);
+    let routing_build_ms = t0.elapsed().as_secs_f64() * 1e3;
+
+    let mut cfg = SimConfig::paper_defaults();
+    cfg.warmup_cycles = w.warmup;
+    cfg.measure_cycles = w.measure;
+
+    let t1 = now();
+    let sim = Simulation::new(&net, &routing, cfg);
+    let table_build_ms = t1.elapsed().as_secs_f64() * 1e3;
+
+    let table_bytes = sim.candidate_table_bytes();
+    let routing_bytes = routing.heap_bytes() + table_bytes.unwrap_or(0);
+    eprintln!(
+        "# {}: {} terminals, {} table, {} routing bytes/terminal \
+         (routing build {:.1} ms, table build {:.1} ms)",
+        w.name,
+        net.num_terminals(),
+        if table_bytes.is_some() {
+            "deduped"
+        } else {
+            "live"
+        },
+        routing_bytes.div_ceil(net.num_terminals().max(1)),
+        routing_build_ms,
+        table_build_ms,
+    );
 }
 
 fn measure(w: &Workload, shard_counts: &[usize]) -> Measurement {
@@ -142,6 +198,10 @@ fn measure(w: &Workload, shard_counts: &[usize]) -> Measurement {
     let t1 = now();
     let sim = Simulation::new(&net, &routing, cfg);
     let table_build_ms = t1.elapsed().as_secs_f64() * 1e3;
+
+    let table_bytes = sim.candidate_table_bytes();
+    let routing_bytes = routing.heap_bytes() + table_bytes.unwrap_or(0);
+    let routing_bytes_per_terminal = routing_bytes.div_ceil(net.num_terminals().max(1));
 
     let cycles = cfg.total_cycles();
     let mut scratch = rfc_net::sim::RunScratch::new();
@@ -191,6 +251,12 @@ fn measure(w: &Workload, shard_counts: &[usize]) -> Measurement {
         sharded,
         routing_build_ms,
         table_build_ms,
+        table: if table_bytes.is_some() {
+            "deduped"
+        } else {
+            "live"
+        },
+        routing_bytes_per_terminal,
         accepted_load: accepted.unwrap_or(f64::NAN),
     }
 }
@@ -203,7 +269,7 @@ fn render_scale(m: &Measurement) -> String {
         .collect::<Vec<_>>()
         .join(", ");
     format!(
-        "    \"{}\": {{\n      \"topology\": \"cft\",\n      \"terminals\": {},\n      \"switches\": {},\n      \"cycles\": {},\n      \"offered_load\": 1.0,\n      \"cycles_per_sec\": {:.0},\n      \"sharded_cycles_per_sec\": {{ {} }},\n      \"routing_build_ms\": {:.3},\n      \"table_build_ms\": {:.3},\n      \"accepted_load\": {:.4}\n    }}",
+        "    \"{}\": {{\n      \"topology\": \"cft\",\n      \"terminals\": {},\n      \"switches\": {},\n      \"cycles\": {},\n      \"offered_load\": 1.0,\n      \"cycles_per_sec\": {:.0},\n      \"sharded_cycles_per_sec\": {{ {} }},\n      \"routing_build_ms\": {:.3},\n      \"table_build_ms\": {:.3},\n      \"table\": \"{}\",\n      \"routing_bytes_per_terminal\": {},\n      \"accepted_load\": {:.4}\n    }}",
         m.name,
         m.terminals,
         m.switches,
@@ -212,6 +278,8 @@ fn render_scale(m: &Measurement) -> String {
         sharded,
         m.routing_build_ms,
         m.table_build_ms,
+        m.table,
+        m.routing_bytes_per_terminal,
         m.accepted_load,
     )
 }
@@ -285,6 +353,7 @@ fn main() -> ExitCode {
     let mut check: Option<String> = None;
     let mut threads: Option<usize> = None;
     let mut shards_override: Option<Vec<usize>> = None;
+    let mut table_only = false;
     let mut it = args.iter();
     while let Some(arg) = it.next() {
         let mut value = |name: &str| match it.next() {
@@ -315,10 +384,11 @@ fn main() -> ExitCode {
                     }
                 }
             }
+            "--table-only" => table_only = true,
             _ => {
                 eprintln!(
                     "usage: engine_baseline [--scale small|medium|large] [--out PATH] \
-                     [--check BASELINE] [--threads N] [--shards N,N,...]"
+                     [--check BASELINE] [--threads N] [--shards N,N,...] [--table-only]"
                 );
                 return ExitCode::from(2);
             }
@@ -339,6 +409,13 @@ fn main() -> ExitCode {
         }
     };
 
+    if table_only {
+        for w in &workloads {
+            build_report(w);
+        }
+        return ExitCode::SUCCESS;
+    }
+
     let mut rendered = Vec::new();
     let mut failed = false;
     for w in &workloads {
@@ -352,8 +429,16 @@ fn main() -> ExitCode {
             .join(", ");
         eprintln!(
             "# {}: {} terminals, {} cycles: {sharded_report} \
-             (routing build {:.1} ms, table build {:.1} ms, accepted {:.3})",
-            m.name, m.terminals, m.cycles, m.routing_build_ms, m.table_build_ms, m.accepted_load,
+             (routing build {:.1} ms, table build {:.1} ms, {} table, \
+             {} routing bytes/terminal, accepted {:.3})",
+            m.name,
+            m.terminals,
+            m.cycles,
+            m.routing_build_ms,
+            m.table_build_ms,
+            m.table,
+            m.routing_bytes_per_terminal,
+            m.accepted_load,
         );
         if let Some(path) = &check {
             if !m.gate {

@@ -171,6 +171,13 @@ impl BitSet {
     }
 }
 
+impl crate::HeapBytes for BitSet {
+    /// Heap bytes of the word array: one `u64` per 64 bits of universe.
+    fn heap_bytes(&self) -> usize {
+        crate::heap::slice_heap_bytes(&self.words)
+    }
+}
+
 impl fmt::Debug for BitSet {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         f.debug_struct("BitSet")

@@ -1,0 +1,337 @@
+//! A sorted-disjoint-range set for contiguous reachability bookkeeping.
+
+use std::fmt;
+
+/// A set of `u32` indices stored as sorted, disjoint, half-open ranges.
+///
+/// Folded-Clos descendant sets are contiguous leaf ranges by construction
+/// (DESIGN.md §15), so the per-switch reach sets that routing builds are
+/// usually one or a handful of intervals regardless of how many leaves the
+/// network has. This representation stores each run as a `(start, end)`
+/// pair — 8 bytes — instead of one bit per possible member, and degrades
+/// gracefully (more intervals, never wrong answers) when a random folded
+/// Clos or an RRN fragments the ranges.
+///
+/// Like [`BitSet`](crate::BitSet), an `IntervalSet` has a fixed universe
+/// `0..len` fixed at construction; membership queries and insertions
+/// outside it panic.
+///
+/// # Examples
+///
+/// ```
+/// use rfc_graph::IntervalSet;
+///
+/// let mut a = IntervalSet::new(100);
+/// a.insert_range(10, 20);
+/// let mut b = IntervalSet::new(100);
+/// b.insert_range(20, 30);
+/// assert!(a.union_with(&b));
+/// assert_eq!(a.ranges(), &[(10, 30)], "adjacent runs coalesce");
+/// assert_eq!(a.count_ones(), 20);
+/// assert!(a.contains(29) && !a.contains(30));
+/// ```
+#[derive(Clone, PartialEq, Eq, Hash)]
+pub struct IntervalSet {
+    /// Sorted, pairwise-disjoint, non-adjacent, non-empty `[start, end)` runs.
+    ranges: Vec<(u32, u32)>,
+    len: usize,
+}
+
+impl IntervalSet {
+    /// Creates an empty set over the universe `0..len`.
+    pub fn new(len: usize) -> Self {
+        Self {
+            ranges: Vec::new(),
+            len,
+        }
+    }
+
+    /// Size of the universe this set draws from.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether no index is present.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.ranges.is_empty()
+    }
+
+    /// The sorted disjoint `[start, end)` runs backing the set.
+    #[inline]
+    pub fn ranges(&self) -> &[(u32, u32)] {
+        &self.ranges
+    }
+
+    /// Number of maximal runs (the storage cost in 8-byte units).
+    #[inline]
+    pub fn num_ranges(&self) -> usize {
+        self.ranges.len()
+    }
+
+    /// Number of members.
+    pub fn count_ones(&self) -> usize {
+        self.ranges.iter().map(|&(s, e)| (e - s) as usize).sum()
+    }
+
+    /// Whether `i` is a member.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= len`.
+    #[inline]
+    pub fn contains(&self, i: usize) -> bool {
+        assert!(i < self.len, "index {i} out of range (len {})", self.len);
+        let i = crate::vid(i);
+        // Index of the first range starting after i; the candidate run,
+        // if any, is the one just before it.
+        let p = self.ranges.partition_point(|&(s, _)| s <= i);
+        p > 0 && i < self.ranges[p - 1].1
+    }
+
+    /// Inserts the single index `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= len`.
+    pub fn insert(&mut self, i: usize) {
+        assert!(i < self.len, "index {i} out of range (len {})", self.len);
+        let i = crate::vid(i);
+        self.insert_range_u32(i, i + 1);
+    }
+
+    /// Inserts every index in `[start, end)`; empty ranges are a no-op.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `end > len` or `start > end`.
+    pub fn insert_range(&mut self, start: usize, end: usize) {
+        assert!(start <= end, "inverted range {start}..{end}");
+        assert!(
+            end <= self.len,
+            "range end {end} out of range (len {})",
+            self.len
+        );
+        if start == end {
+            return;
+        }
+        self.insert_range_u32(crate::vid(start), crate::vid(end));
+    }
+
+    fn insert_range_u32(&mut self, start: u32, end: u32) {
+        // First run that could touch [start, end): the last one with
+        // s <= end, scanning left while it still overlaps or abuts.
+        let mut lo = self.ranges.partition_point(|&(s, _)| s < start);
+        if lo > 0 && self.ranges[lo - 1].1 >= start {
+            lo -= 1;
+        }
+        let mut hi = lo;
+        let mut new_start = start;
+        let mut new_end = end;
+        while hi < self.ranges.len() && self.ranges[hi].0 <= end {
+            new_start = new_start.min(self.ranges[hi].0);
+            new_end = new_end.max(self.ranges[hi].1);
+            hi += 1;
+        }
+        self.ranges.splice(lo..hi, [(new_start, new_end)]);
+    }
+
+    /// Unions `other` into `self`, returning `true` if any member was added.
+    ///
+    /// Runs a single merge pass over both sorted run lists, coalescing
+    /// overlapping and adjacent runs, so a union costs
+    /// O(runs(self) + runs(other)) independent of the universe size.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the sets have different universe lengths.
+    pub fn union_with(&mut self, other: &IntervalSet) -> bool {
+        assert_eq!(self.len, other.len, "interval set length mismatch");
+        if other.ranges.is_empty() {
+            return false;
+        }
+        let mut merged: Vec<(u32, u32)> =
+            Vec::with_capacity(self.ranges.len() + other.ranges.len());
+        let (mut a, mut b) = (0, 0);
+        while a < self.ranges.len() || b < other.ranges.len() {
+            let next = if b >= other.ranges.len()
+                || (a < self.ranges.len() && self.ranges[a].0 <= other.ranges[b].0)
+            {
+                let r = self.ranges[a];
+                a += 1;
+                r
+            } else {
+                let r = other.ranges[b];
+                b += 1;
+                r
+            };
+            match merged.last_mut() {
+                Some(last) if next.0 <= last.1 => last.1 = last.1.max(next.1),
+                _ => merged.push(next),
+            }
+        }
+        let changed = merged != self.ranges;
+        self.ranges = merged;
+        changed
+    }
+
+    /// Whether every member of `other` is also a member of `self`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the sets have different universe lengths.
+    pub fn is_superset(&self, other: &IntervalSet) -> bool {
+        assert_eq!(self.len, other.len, "interval set length mismatch");
+        let mut a = 0;
+        for &(s, e) in &other.ranges {
+            while a < self.ranges.len() && self.ranges[a].1 < e {
+                a += 1;
+            }
+            if a >= self.ranges.len() || self.ranges[a].0 > s {
+                return false;
+            }
+        }
+        true
+    }
+
+    /// Iterates over members in ascending order.
+    pub fn iter_ones(&self) -> IntervalOnes<'_> {
+        IntervalOnes {
+            ranges: &self.ranges,
+            run: 0,
+            next: self.ranges.first().map_or(0, |&(s, _)| s),
+        }
+    }
+}
+
+impl crate::HeapBytes for IntervalSet {
+    /// Heap bytes held by the run list (logical size, not capacity, so the
+    /// figure is a pure function of the set's contents).
+    fn heap_bytes(&self) -> usize {
+        crate::heap::slice_heap_bytes(&self.ranges)
+    }
+}
+
+impl fmt::Debug for IntervalSet {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("IntervalSet")
+            .field("len", &self.len)
+            .field("ranges", &self.ranges)
+            .finish()
+    }
+}
+
+/// Iterator over members, produced by [`IntervalSet::iter_ones`].
+#[derive(Debug)]
+pub struct IntervalOnes<'a> {
+    ranges: &'a [(u32, u32)],
+    run: usize,
+    next: u32,
+}
+
+impl Iterator for IntervalOnes<'_> {
+    type Item = usize;
+
+    fn next(&mut self) -> Option<usize> {
+        let &(_, end) = self.ranges.get(self.run)?;
+        let item = self.next as usize;
+        self.next += 1;
+        if self.next >= end {
+            self.run += 1;
+            if let Some(&(s, _)) = self.ranges.get(self.run) {
+                self.next = s;
+            }
+        }
+        Some(item)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn insert_contains() {
+        let mut s = IntervalSet::new(100);
+        assert!(!s.contains(5));
+        s.insert(5);
+        s.insert(7);
+        assert!(s.contains(5) && !s.contains(6) && s.contains(7));
+        assert_eq!(s.ranges(), &[(5, 6), (7, 8)]);
+        s.insert(6);
+        assert_eq!(s.ranges(), &[(5, 8)], "bridging insert coalesces");
+    }
+
+    #[test]
+    fn insert_range_merges_overlaps() {
+        let mut s = IntervalSet::new(50);
+        s.insert_range(10, 20);
+        s.insert_range(30, 40);
+        s.insert_range(15, 35);
+        assert_eq!(s.ranges(), &[(10, 40)]);
+        assert_eq!(s.count_ones(), 30);
+    }
+
+    #[test]
+    fn empty_range_is_noop() {
+        let mut s = IntervalSet::new(10);
+        s.insert_range(4, 4);
+        assert!(s.is_empty());
+    }
+
+    #[test]
+    fn union_coalesces_adjacent() {
+        let mut a = IntervalSet::new(100);
+        a.insert_range(0, 10);
+        a.insert_range(20, 30);
+        let mut b = IntervalSet::new(100);
+        b.insert_range(10, 20);
+        assert!(a.union_with(&b));
+        assert_eq!(a.ranges(), &[(0, 30)]);
+        assert!(!a.union_with(&b), "second union is a no-op");
+    }
+
+    #[test]
+    fn superset_checks_full_coverage() {
+        let mut a = IntervalSet::new(100);
+        a.insert_range(0, 50);
+        let mut b = IntervalSet::new(100);
+        b.insert_range(10, 20);
+        b.insert_range(30, 40);
+        assert!(a.is_superset(&b));
+        b.insert_range(49, 51);
+        assert!(!a.is_superset(&b));
+        assert!(a.is_superset(&IntervalSet::new(100)));
+    }
+
+    #[test]
+    fn iter_ones_ascending() {
+        let mut s = IntervalSet::new(20);
+        s.insert_range(3, 5);
+        s.insert(9);
+        let ones: Vec<_> = s.iter_ones().collect();
+        assert_eq!(ones, vec![3, 4, 9]);
+    }
+
+    #[test]
+    fn zero_length_set_is_fine() {
+        let s = IntervalSet::new(0);
+        assert!(s.is_empty());
+        assert_eq!(s.iter_ones().count(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn out_of_range_insert_panics() {
+        let mut s = IntervalSet::new(5);
+        s.insert(5);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn out_of_range_contains_panics() {
+        let s = IntervalSet::new(5);
+        let _ = s.contains(5);
+    }
+}

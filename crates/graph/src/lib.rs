@@ -13,8 +13,12 @@
 //! * [`random`] — Steger–Wormald pairing-model generation of random regular
 //!   graphs and random semiregular bipartite graphs (the paper's Listings 1
 //!   and 2).
-//! * [`BitSet`] — a fixed-width bit set used by the routing crate to store
-//!   per-switch reachability sets.
+//! * [`BitSet`], [`IntervalSet`], [`ReachSet`] — fixed-universe index sets:
+//!   a dense bit set, a sorted-disjoint-range set, and the density-adaptive
+//!   enum over both that the routing crate uses to store per-switch
+//!   reachability (DESIGN.md §15).
+//! * [`HeapBytes`] — logical heap-size accounting behind the per-scale
+//!   `routing-bytes-per-terminal` memory ratchet.
 //!
 //! # Examples
 //!
@@ -42,13 +46,19 @@ mod bitset;
 pub mod connectivity;
 mod csr;
 mod error;
+mod heap;
+mod interval;
 pub mod random;
+mod reach;
 pub mod traversal;
 
 pub use bitset::BitSet;
 pub use connectivity::DisjointSets;
 pub use csr::Csr;
 pub use error::GenerationError;
+pub use heap::{slice_heap_bytes, HeapBytes};
+pub use interval::{IntervalOnes, IntervalSet};
+pub use reach::{ReachOnes, ReachSet};
 
 /// Checked conversion into the dense `u32` vertex/index space.
 ///

@@ -1,0 +1,348 @@
+//! Density-adaptive reachability sets.
+
+use crate::{bitset::IterOnes, interval::IntervalOnes};
+use crate::{BitSet, HeapBytes, IntervalSet};
+
+/// A fixed-universe index set that picks its representation by measured
+/// density: sorted disjoint ranges while runs are few, a dense [`BitSet`]
+/// once fragmentation makes ranges the larger encoding.
+///
+/// Folded-Clos descendant sets are contiguous leaf ranges by construction,
+/// so `UpDownRouting`'s per-switch reach sets are almost always a handful
+/// of intervals; random folded Clos and RRN topologies fragment them, and
+/// past the break-even point — more 8-byte runs than the bit set has
+/// 8-byte words — the set densifies (see [`ReachSet::union_with`]). The
+/// choice is a deterministic function of the set's contents, so serial and
+/// parallel reachability builds produce structurally identical values and
+/// derived sizes are reproducible across machines.
+///
+/// # Examples
+///
+/// ```
+/// use rfc_graph::ReachSet;
+///
+/// let mut r = ReachSet::new(1024);
+/// let mut leaf = ReachSet::new(1024);
+/// leaf.insert(7);
+/// r.union_with(&leaf);
+/// assert!(r.contains(7) && !r.contains(8));
+/// assert!(!r.is_dense(), "one run stays interval-coded");
+/// ```
+#[derive(Clone, Debug, PartialEq, Eq, Hash)]
+pub enum ReachSet {
+    /// Run-length representation for (near-)contiguous sets.
+    Intervals(IntervalSet),
+    /// One-bit-per-index fallback for fragmented sets.
+    Dense(BitSet),
+}
+
+impl ReachSet {
+    /// Creates an empty set over the universe `0..len` (interval-coded).
+    pub fn new(len: usize) -> Self {
+        ReachSet::Intervals(IntervalSet::new(len))
+    }
+
+    /// Size of the universe this set draws from.
+    pub fn len(&self) -> usize {
+        match self {
+            ReachSet::Intervals(s) => s.len(),
+            ReachSet::Dense(s) => s.len(),
+        }
+    }
+
+    /// Whether no index is present.
+    pub fn is_empty(&self) -> bool {
+        match self {
+            ReachSet::Intervals(s) => s.is_empty(),
+            ReachSet::Dense(s) => s.is_empty(),
+        }
+    }
+
+    /// Whether the set has fallen back to the dense representation.
+    pub fn is_dense(&self) -> bool {
+        matches!(self, ReachSet::Dense(_))
+    }
+
+    /// Whether `i` is a member.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= len`.
+    #[inline]
+    pub fn contains(&self, i: usize) -> bool {
+        match self {
+            ReachSet::Intervals(s) => s.contains(i),
+            ReachSet::Dense(s) => s.contains(i),
+        }
+    }
+
+    /// Inserts the single index `i`, re-evaluating the representation.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= len`.
+    pub fn insert(&mut self, i: usize) {
+        match self {
+            ReachSet::Intervals(s) => {
+                s.insert(i);
+                self.settle();
+            }
+            ReachSet::Dense(s) => s.insert(i),
+        }
+    }
+
+    /// Number of members.
+    pub fn count_ones(&self) -> usize {
+        match self {
+            ReachSet::Intervals(s) => s.count_ones(),
+            ReachSet::Dense(s) => s.count_ones(),
+        }
+    }
+
+    /// Unions `other` into `self`, returning `true` if any member was
+    /// added, then re-evaluates the representation: an interval-coded
+    /// result densifies once it holds more runs than the equivalent
+    /// [`BitSet`] holds words, and a dense set never reverts (unions only
+    /// grow, so re-sparsifying could flap).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the sets have different universe lengths.
+    pub fn union_with(&mut self, other: &ReachSet) -> bool {
+        assert_eq!(self.len(), other.len(), "reach set length mismatch");
+        let changed = match (&mut *self, other) {
+            (ReachSet::Intervals(a), ReachSet::Intervals(b)) => a.union_with(b),
+            (ReachSet::Dense(a), ReachSet::Dense(b)) => a.union_with(b),
+            (ReachSet::Dense(a), ReachSet::Intervals(b)) => {
+                let mut changed = false;
+                for &(s, e) in b.ranges() {
+                    for i in s..e {
+                        let i = i as usize;
+                        changed |= !a.contains(i);
+                        a.insert(i);
+                    }
+                }
+                changed
+            }
+            (ReachSet::Intervals(a), ReachSet::Dense(b)) => {
+                let mut dense = BitSet::new(a.len());
+                for &(s, e) in a.ranges() {
+                    for i in s..e {
+                        dense.insert(i as usize);
+                    }
+                }
+                let before = dense.count_ones();
+                dense.union_with(b);
+                let changed = dense.count_ones() != before;
+                *self = ReachSet::Dense(dense);
+                changed
+            }
+        };
+        self.settle();
+        changed
+    }
+
+    /// Densifies an interval-coded set whose run list outweighs a bit set.
+    fn settle(&mut self) {
+        if let ReachSet::Intervals(s) = self {
+            // Break-even: each run costs 8 bytes, each BitSet word 8 bytes.
+            if s.num_ranges() > s.len().div_ceil(64) {
+                let mut dense = BitSet::new(s.len());
+                for &(start, end) in s.ranges() {
+                    for i in start..end {
+                        dense.insert(i as usize);
+                    }
+                }
+                *self = ReachSet::Dense(dense);
+            }
+        }
+    }
+
+    /// Whether every member of `other` is also a member of `self`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the sets have different universe lengths.
+    pub fn is_superset(&self, other: &ReachSet) -> bool {
+        assert_eq!(self.len(), other.len(), "reach set length mismatch");
+        match (self, other) {
+            (ReachSet::Intervals(a), ReachSet::Intervals(b)) => a.is_superset(b),
+            (ReachSet::Dense(a), ReachSet::Dense(b)) => a.is_superset(b),
+            _ => other.iter_ones().all(|i| self.contains(i)),
+        }
+    }
+
+    /// Iterates over members in ascending order.
+    pub fn iter_ones(&self) -> ReachOnes<'_> {
+        match self {
+            ReachSet::Intervals(s) => ReachOnes::Intervals(s.iter_ones()),
+            ReachSet::Dense(s) => ReachOnes::Dense(s.iter_ones()),
+        }
+    }
+
+    /// Calls `f(start, end)` for every maximal run of members, ascending.
+    ///
+    /// This is the primitive the candidate-table build uses to enumerate
+    /// destination segments without touching individual indices.
+    pub fn for_each_range(&self, mut f: impl FnMut(u32, u32)) {
+        match self {
+            ReachSet::Intervals(s) => {
+                for &(start, end) in s.ranges() {
+                    f(start, end);
+                }
+            }
+            ReachSet::Dense(s) => {
+                let mut run_start: Option<usize> = None;
+                let mut prev = 0usize;
+                for i in s.iter_ones() {
+                    match run_start {
+                        Some(_) if i == prev + 1 => {}
+                        Some(start) => {
+                            f(crate::vid(start), crate::vid(prev + 1));
+                            run_start = Some(i);
+                        }
+                        None => run_start = Some(i),
+                    }
+                    prev = i;
+                }
+                if let Some(start) = run_start {
+                    f(crate::vid(start), crate::vid(prev + 1));
+                }
+            }
+        }
+    }
+}
+
+impl HeapBytes for ReachSet {
+    fn heap_bytes(&self) -> usize {
+        match self {
+            ReachSet::Intervals(s) => s.heap_bytes(),
+            ReachSet::Dense(s) => s.heap_bytes(),
+        }
+    }
+}
+
+/// Iterator over members, produced by [`ReachSet::iter_ones`].
+#[derive(Debug)]
+pub enum ReachOnes<'a> {
+    /// Walking interval runs.
+    Intervals(IntervalOnes<'a>),
+    /// Walking bit-set words.
+    Dense(IterOnes<'a>),
+}
+
+impl Iterator for ReachOnes<'_> {
+    type Item = usize;
+
+    fn next(&mut self) -> Option<usize> {
+        match self {
+            ReachOnes::Intervals(it) => it.next(),
+            ReachOnes::Dense(it) => it.next(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn from_indices(len: usize, idx: &[usize]) -> ReachSet {
+        let mut s = ReachSet::new(len);
+        for &i in idx {
+            s.insert(i);
+        }
+        s
+    }
+
+    #[test]
+    fn contiguous_sets_stay_interval_coded() {
+        let mut r = ReachSet::new(10_000);
+        let mut other = ReachSet::new(10_000);
+        if let ReachSet::Intervals(s) = &mut other {
+            s.insert_range(100, 5_000);
+        }
+        assert!(r.union_with(&other));
+        assert!(!r.is_dense());
+        assert_eq!(r.count_ones(), 4_900);
+        assert_eq!(r.heap_bytes(), 8, "one 8-byte run for 4,900 members");
+    }
+
+    #[test]
+    fn fragmented_sets_densify_at_break_even() {
+        // Universe of 128 → 2 words → densify past 2 runs.
+        let r = from_indices(128, &[0, 10, 20]);
+        assert!(r.is_dense());
+        assert_eq!(r.count_ones(), 3);
+        let sparse = from_indices(128, &[0, 10]);
+        assert!(!sparse.is_dense(), "2 runs == 2 words stays sparse");
+    }
+
+    #[test]
+    fn dense_never_reverts() {
+        let mut r = from_indices(128, &[0, 10, 20]);
+        assert!(r.is_dense());
+        let mut full = ReachSet::new(128);
+        if let ReachSet::Intervals(s) = &mut full {
+            s.insert_range(0, 128);
+        }
+        r.union_with(&full);
+        assert!(r.is_dense());
+        assert_eq!(r.count_ones(), 128);
+    }
+
+    #[test]
+    fn mixed_union_agrees_with_membership() {
+        let dense = from_indices(256, &[1, 65, 130, 131, 200, 255]);
+        assert!(dense.is_dense());
+        let mut sparse = ReachSet::new(256);
+        if let ReachSet::Intervals(s) = &mut sparse {
+            s.insert_range(60, 70);
+        }
+        // sparse ∪ dense.
+        let mut a = sparse.clone();
+        assert!(a.union_with(&dense));
+        // dense ∪ sparse.
+        let mut b = dense.clone();
+        assert!(b.union_with(&sparse));
+        let members: Vec<usize> = a.iter_ones().collect();
+        assert_eq!(members, b.iter_ones().collect::<Vec<_>>());
+        for i in 0..256 {
+            let expect = (60..70).contains(&i) || [1, 65, 130, 131, 200, 255].contains(&i);
+            assert_eq!(a.contains(i), expect, "index {i}");
+        }
+    }
+
+    #[test]
+    fn superset_across_representations() {
+        let dense = from_indices(128, &[3, 40, 90]);
+        let mut sparse = ReachSet::new(128);
+        sparse.insert(40);
+        assert!(dense.is_superset(&sparse));
+        assert!(!sparse.is_superset(&dense));
+        sparse.insert(3);
+        assert!(dense.is_superset(&sparse));
+    }
+
+    #[test]
+    fn for_each_range_emits_maximal_runs() {
+        for set in [
+            from_indices(128, &[0, 1, 2, 64, 65, 127]),
+            from_indices(1 << 14, &[0, 1, 2, 64, 65, 127]),
+        ] {
+            let mut runs = Vec::new();
+            set.for_each_range(|s, e| runs.push((s, e)));
+            assert_eq!(runs, vec![(0, 3), (64, 66), (127, 128)]);
+        }
+    }
+
+    #[test]
+    fn union_reports_change_across_representations() {
+        let mut r = from_indices(128, &[0, 10, 20]);
+        let same = from_indices(128, &[0, 10, 20]);
+        assert!(!r.union_with(&same));
+        let mut sparse = ReachSet::new(128);
+        sparse.insert(99);
+        assert!(r.union_with(&sparse));
+        assert!(!r.union_with(&sparse));
+    }
+}

@@ -21,4 +21,36 @@ pub trait RoutingOracle {
         self.next_hops_into(current, dst, &mut out);
         out
     }
+
+    /// Enumerates the candidate rows of `current` as destination *runs*:
+    /// calls `emit(start, row)` for consecutive ranges of destinations,
+    /// ascending, whose runs exactly partition `0..dst_space` (each run
+    /// ends where the next begins, the last at `dst_space`). Every
+    /// destination `d` in a run has exactly the candidates `row` that
+    /// [`RoutingOracle::next_hops_into`] would append for it.
+    ///
+    /// This is how the simulator's candidate-table build enumerates rows
+    /// without querying every `(switch, dst)` pair: implementations whose
+    /// rows are piecewise-constant in `d` (up/down routing over
+    /// interval-coded reach sets) override this with a run walk. Adjacent
+    /// runs *may* carry equal rows — consumers needing maximal runs must
+    /// merge. The default implementation queries every destination and
+    /// merges equal consecutive rows.
+    fn for_each_dst_run(&self, current: u32, dst_space: u32, emit: &mut dyn FnMut(u32, &[u32])) {
+        let mut row: Vec<u32> = Vec::new();
+        let mut prev: Vec<u32> = Vec::new();
+        let mut start = 0u32;
+        for d in 0..dst_space {
+            row.clear();
+            self.next_hops_into(current, d, &mut row);
+            if d > 0 && row != prev {
+                emit(start, &prev);
+                start = d;
+            }
+            std::mem::swap(&mut prev, &mut row);
+        }
+        if dst_space > 0 {
+            emit(start, &prev);
+        }
+    }
 }

@@ -4,14 +4,14 @@ use std::fmt;
 
 use rand::Rng;
 
-use rfc_graph::BitSet;
+use rfc_graph::{vid, HeapBytes, ReachSet};
 use rfc_topology::FoldedClos;
 
 use crate::RoutingOracle;
 
 /// Deadlock-free equal-cost multi-path up/down routing (Section 4.1).
 ///
-/// For every switch `s` the table stores two leaf bitsets:
+/// For every switch `s` the table stores two leaf [`ReachSet`]s:
 ///
 /// * `down_reach(s)` — leaves reachable from `s` using only down-links,
 /// * `updown_reach(s)` — leaves reachable going up at least once and then
@@ -24,21 +24,31 @@ use crate::RoutingOracle;
 /// when each leaf's `updown_reach` covers all other leaves, which is the
 /// common-ancestor condition of Theorem 4.2.
 ///
+/// Reach sets are density-adaptive (DESIGN.md §15): descendant sets of a
+/// CFT/XGFT are contiguous leaf ranges, so they stay interval-coded at a
+/// few bytes per switch instead of `leaves / 8`; random folded Clos and
+/// RRN fragment them and the affected sets fall back to dense bitsets.
+/// The adjacency is CSR-flattened (one offsets + one flat array per
+/// direction), so the live-oracle hot path does one slice index per
+/// neighbor list instead of chasing a `Vec<Vec<_>>`.
+///
 /// The table is self-contained (it copies the adjacency out of the
 /// [`FoldedClos`]), so it can outlive the topology and be queried from the
 /// simulator without lifetime coupling.
 pub struct UpDownRouting {
     num_leaves: usize,
-    up: Vec<Vec<u32>>,
-    down: Vec<Vec<u32>>,
-    down_reach: Vec<BitSet>,
-    updown_reach: Vec<BitSet>,
+    up_off: Vec<u32>,
+    up_adj: Vec<u32>,
+    down_off: Vec<u32>,
+    down_adj: Vec<u32>,
+    down_reach: Vec<ReachSet>,
+    updown_reach: Vec<ReachSet>,
 }
 
 impl fmt::Debug for UpDownRouting {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         f.debug_struct("UpDownRouting")
-            .field("switches", &self.up.len())
+            .field("switches", &self.down_reach.len())
             .field("leaves", &self.num_leaves)
             .finish()
     }
@@ -57,12 +67,20 @@ impl UpDownRouting {
         let n = clos.num_switches();
         let leaves = clos.num_leaves();
         let levels = clos.num_levels();
-        let mut up: Vec<Vec<u32>> = Vec::with_capacity(n);
-        let mut down: Vec<Vec<u32>> = Vec::with_capacity(n);
+        let mut up_off: Vec<u32> = Vec::with_capacity(n + 1);
+        let mut up_adj: Vec<u32> = Vec::new();
+        let mut down_off: Vec<u32> = Vec::with_capacity(n + 1);
+        let mut down_adj: Vec<u32> = Vec::new();
+        up_off.push(0);
+        down_off.push(0);
         for s in 0..n as u32 {
-            up.push(clos.up_neighbors(s));
-            down.push(clos.down_neighbors(s));
+            up_adj.extend(clos.up_neighbors(s));
+            up_off.push(vid(up_adj.len()));
+            down_adj.extend(clos.down_neighbors(s));
+            down_off.push(vid(down_adj.len()));
         }
+        let up = |s: usize| &up_adj[up_off[s] as usize..up_off[s + 1] as usize];
+        let down = |s: usize| &down_adj[down_off[s] as usize..down_off[s + 1] as usize];
         let level_ids = |level: usize| -> Vec<u32> {
             (0..clos.level_size(level))
                 .map(|idx| clos.switch_id(level, idx))
@@ -70,15 +88,15 @@ impl UpDownRouting {
         };
 
         // Downward reachability, bottom-up.
-        let mut down_reach: Vec<BitSet> = (0..n).map(|_| BitSet::new(leaves)).collect();
+        let mut down_reach: Vec<ReachSet> = (0..n).map(|_| ReachSet::new(leaves)).collect();
         for (leaf, reach) in down_reach.iter_mut().enumerate().take(leaves) {
             reach.insert(leaf);
         }
         for level in 1..levels {
             let ids = level_ids(level);
             let computed = rfc_parallel::map(ids.clone(), |s| {
-                let mut acc = BitSet::new(leaves);
-                for &d in &down[s as usize] {
+                let mut acc = ReachSet::new(leaves);
+                for &d in down(s as usize) {
                     acc.union_with(&down_reach[d as usize]);
                 }
                 acc
@@ -89,12 +107,12 @@ impl UpDownRouting {
         }
 
         // Up-then-down reachability, top-down.
-        let mut updown_reach: Vec<BitSet> = (0..n).map(|_| BitSet::new(leaves)).collect();
+        let mut updown_reach: Vec<ReachSet> = (0..n).map(|_| ReachSet::new(leaves)).collect();
         for level in (0..levels - 1).rev() {
             let ids = level_ids(level);
             let computed = rfc_parallel::map(ids.clone(), |s| {
-                let mut acc = BitSet::new(leaves);
-                for &u in &up[s as usize] {
+                let mut acc = ReachSet::new(leaves);
+                for &u in up(s as usize) {
                     acc.union_with(&down_reach[u as usize]);
                     acc.union_with(&updown_reach[u as usize]);
                 }
@@ -107,11 +125,25 @@ impl UpDownRouting {
 
         Self {
             num_leaves: leaves,
-            up,
-            down,
+            up_off,
+            up_adj,
+            down_off,
+            down_adj,
             down_reach,
             updown_reach,
         }
+    }
+
+    /// Up-neighbors of `s` (CSR slice).
+    #[inline]
+    fn up(&self, s: usize) -> &[u32] {
+        &self.up_adj[self.up_off[s] as usize..self.up_off[s + 1] as usize]
+    }
+
+    /// Down-neighbors of `s` (CSR slice).
+    #[inline]
+    fn down(&self, s: usize) -> &[u32] {
+        &self.down_adj[self.down_off[s] as usize..self.down_off[s + 1] as usize]
     }
 
     /// Number of leaf switches covered by the table.
@@ -122,13 +154,13 @@ impl UpDownRouting {
 
     /// Leaves reachable from `switch` using only down-links.
     #[inline]
-    pub fn down_reach(&self, switch: u32) -> &BitSet {
+    pub fn down_reach(&self, switch: u32) -> &ReachSet {
         &self.down_reach[switch as usize]
     }
 
     /// Leaves reachable from `switch` going up at least once, then down.
     #[inline]
-    pub fn updown_reach(&self, switch: u32) -> &BitSet {
+    pub fn updown_reach(&self, switch: u32) -> &ReachSet {
         &self.updown_reach[switch as usize]
     }
 
@@ -189,7 +221,7 @@ impl UpDownRouting {
             return out;
         }
         if self.down_reach[s].contains(d) {
-            for &c in &self.down[s] {
+            for &c in self.down(s) {
                 if self.down_reach[c as usize].contains(d) {
                     out.push(c);
                 }
@@ -198,7 +230,7 @@ impl UpDownRouting {
         }
         // Upward BFS tracking which first hop reached each frontier
         // switch; stop at the first height where a turn is possible.
-        let mut frontier: Vec<(u32, u32)> = self.up[s].iter().map(|&u| (u, u)).collect();
+        let mut frontier: Vec<(u32, u32)> = self.up(s).iter().map(|&u| (u, u)).collect();
         while !frontier.is_empty() {
             let mut winners: Vec<u32> = frontier
                 .iter()
@@ -212,7 +244,7 @@ impl UpDownRouting {
             }
             let mut next: Vec<(u32, u32)> = Vec::new();
             for &(sw, first) in &frontier {
-                for &u in &self.up[sw as usize] {
+                for &u in self.up(sw as usize) {
                     next.push((u, first));
                 }
             }
@@ -276,7 +308,7 @@ impl UpDownRouting {
                 let mut next: std::collections::BTreeMap<u32, u64> =
                     std::collections::BTreeMap::new();
                 for (&s, &c) in &counts {
-                    for &u in &self.up[s as usize] {
+                    for &u in self.up(s as usize) {
                         *next.entry(u).or_insert(0) += c;
                     }
                 }
@@ -354,7 +386,7 @@ impl UpDownRouting {
             height += 1;
             let mut next = Vec::new();
             for &s in &frontier {
-                for &u in &self.up[s as usize] {
+                for &u in self.up(s as usize) {
                     if self.down_reach[u as usize].contains(b as usize) {
                         return Some(2 * height);
                     }
@@ -380,7 +412,7 @@ impl RoutingOracle for UpDownRouting {
         }
         // Down phase: any down-neighbor that still covers the target.
         if self.down_reach[s].contains(d) {
-            for &c in &self.down[s] {
+            for &c in self.down(s) {
                 if self.down_reach[c as usize].contains(d) {
                     out.push(c);
                 }
@@ -389,7 +421,7 @@ impl RoutingOracle for UpDownRouting {
         }
         // Up phase: prefer up-neighbors that can turn around immediately.
         let mark = out.len();
-        for &u in &self.up[s] {
+        for &u in self.up(s) {
             if self.down_reach[u as usize].contains(d) {
                 out.push(u);
             }
@@ -397,11 +429,85 @@ impl RoutingOracle for UpDownRouting {
         if out.len() > mark {
             return;
         }
-        for &u in &self.up[s] {
+        for &u in self.up(s) {
             if self.updown_reach[u as usize].contains(d) {
                 out.push(u);
             }
         }
+    }
+
+    /// Run enumeration in time proportional to the *runs* of the
+    /// neighbors' reach sets rather than to `dst_space`.
+    ///
+    /// The candidate row of `current` changes only where membership of
+    /// `d` in one of the consulted sets changes: `down_reach(current)`,
+    /// `down_reach(c)` for each down-neighbor, `down_reach(u)` /
+    /// `updown_reach(u)` for each up-neighbor, plus the `d == current`
+    /// singleton. Collecting every run boundary of those sets splits
+    /// `0..dst_space` into segments on which the row is constant; the
+    /// greedy oracle is then evaluated once per segment. On a CFT this is
+    /// a few dozen segments per switch against tens of thousands of
+    /// destinations.
+    fn for_each_dst_run(&self, current: u32, dst_space: u32, emit: &mut dyn FnMut(u32, &[u32])) {
+        if dst_space == 0 {
+            return;
+        }
+        let s = current as usize;
+        let mut bounds: Vec<u32> = vec![0];
+        {
+            let mut push_set = |set: &ReachSet| {
+                set.for_each_range(|a, b| {
+                    if a > 0 && a < dst_space {
+                        bounds.push(a);
+                    }
+                    if b < dst_space {
+                        bounds.push(b);
+                    }
+                });
+            };
+            push_set(&self.down_reach[s]);
+            for &c in self.down(s) {
+                push_set(&self.down_reach[c as usize]);
+            }
+            for &u in self.up(s) {
+                push_set(&self.down_reach[u as usize]);
+                push_set(&self.updown_reach[u as usize]);
+            }
+        }
+        if current < dst_space {
+            bounds.push(current);
+            if current + 1 < dst_space {
+                bounds.push(current + 1);
+            }
+        }
+        bounds.sort_unstable();
+        bounds.dedup();
+        let mut row: Vec<u32> = Vec::new();
+        for &start in &bounds {
+            row.clear();
+            self.next_hops_into(current, start, &mut row);
+            emit(start, &row);
+        }
+    }
+}
+
+impl HeapBytes for UpDownRouting {
+    /// Logical bytes of the CSR adjacency plus both reach-set columns
+    /// (headers and per-set heap storage; see DESIGN.md §15).
+    fn heap_bytes(&self) -> usize {
+        let reach: usize = self
+            .down_reach
+            .iter()
+            .chain(&self.updown_reach)
+            .map(HeapBytes::heap_bytes)
+            .sum();
+        rfc_graph::slice_heap_bytes(&self.up_off)
+            + rfc_graph::slice_heap_bytes(&self.up_adj)
+            + rfc_graph::slice_heap_bytes(&self.down_off)
+            + rfc_graph::slice_heap_bytes(&self.down_adj)
+            + rfc_graph::slice_heap_bytes(&self.down_reach)
+            + rfc_graph::slice_heap_bytes(&self.updown_reach)
+            + reach
     }
 }
 
@@ -711,6 +817,68 @@ mod tests {
                     parallel.updown_reach(s),
                     "switch {s}"
                 );
+            }
+        }
+    }
+
+    #[test]
+    fn cft_reach_sets_stay_interval_coded() {
+        // Descendant sets of a regular folded Clos are contiguous leaf
+        // ranges, so none of them should pay for a dense bitset, and —
+        // once the leaf count dwarfs a single bitset word — the interval
+        // encoding must undercut the dense word arrays it replaced.
+        let net = FoldedClos::cft(16, 4).unwrap();
+        let r = UpDownRouting::new(&net);
+        let mut set_bytes = 0usize;
+        for s in 0..net.num_switches() as u32 {
+            assert!(!r.down_reach(s).is_dense(), "switch {s}");
+            assert!(!r.updown_reach(s).is_dense(), "switch {s}");
+            set_bytes += r.down_reach(s).heap_bytes() + r.updown_reach(s).heap_bytes();
+        }
+        let dense_words = 2 * net.num_switches() * net.num_leaves().div_ceil(64) * 8;
+        assert!(
+            set_bytes < dense_words / 4,
+            "{set_bytes} bytes of runs should undercut {dense_words} bytes of words"
+        );
+        assert!(r.heap_bytes() > set_bytes, "adjacency must be accounted");
+    }
+
+    #[test]
+    fn dst_run_enumeration_matches_per_dst_queries() {
+        // The boundary-walk override must produce exactly the rows the
+        // greedy oracle yields destination by destination — on a regular
+        // CFT (contiguous runs), a fragmented random folded Clos, and
+        // with a dst_space smaller than the leaf count.
+        let mut rng = StdRng::seed_from_u64(21);
+        let nets = [
+            FoldedClos::cft(6, 3).unwrap(),
+            FoldedClos::random(8, 24, 3, &mut rng).unwrap(),
+        ];
+        for net in &nets {
+            let r = UpDownRouting::new(net);
+            for dst_space in [net.num_leaves() as u32, net.num_leaves() as u32 / 2] {
+                for s in 0..net.num_switches() as u32 {
+                    let mut starts: Vec<u32> = Vec::new();
+                    let mut bodies: Vec<Vec<u32>> = Vec::new();
+                    r.for_each_dst_run(s, dst_space, &mut |start, row| {
+                        assert!(starts.last().is_none_or(|&p| p < start));
+                        starts.push(start);
+                        bodies.push(row.to_vec());
+                    });
+                    assert_eq!(starts.first(), Some(&0), "runs must cover from 0");
+                    // Expand the runs back to one row per destination.
+                    let mut rows: Vec<Vec<u32>> = Vec::new();
+                    for (i, &start) in starts.iter().enumerate() {
+                        let end = starts.get(i + 1).copied().unwrap_or(dst_space);
+                        for _ in start..end {
+                            rows.push(bodies[i].clone());
+                        }
+                    }
+                    assert_eq!(rows.len(), dst_space as usize);
+                    for d in 0..dst_space {
+                        assert_eq!(rows[d as usize], r.next_hops(s, d), "switch {s} dst {d}");
+                    }
+                }
             }
         }
     }

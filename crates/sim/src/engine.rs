@@ -142,20 +142,88 @@ impl Default for Packet {
 /// removing the per-request neighbor binary search from the cycle loop.
 #[derive(Debug)]
 enum Candidates {
-    /// `offsets[switch * dst_space + dst] .. offsets[.. + 1]` indexes
-    /// the parallel `out_ports` array.
-    Table {
-        offsets: Vec<u32>,
-        out_ports: Vec<u32>,
-        dst_space: usize,
-    },
-    /// Network too large to materialize; query the oracle live.
+    /// Materialized, deduplicated, run-length-compressed table.
+    Table(RleTable),
+    /// Table would exceed the byte budget (or its offsets would overflow
+    /// `u32`); query the oracle live.
     Live,
 }
 
-/// Above this many (switch, destination) pairs the table is skipped
-/// (it would cost more memory than it saves time).
-const TABLE_BUDGET: usize = 16_000_000;
+/// The deduplicated candidate table (DESIGN.md §15).
+///
+/// Three compressions stack on the old `switches × dst_space` matrix:
+///
+/// 1. **Rows resolve once** — a row is the out-port list one `(switch,
+///    dst)` query yields, in oracle order (the cached-vs-live agreement
+///    contract depends on that order).
+/// 2. **Rows intern** — identical rows share one entry in the
+///    `row_off`/`row_ports` pool. Same-level switches answer most
+///    destinations identically (e.g. "all up-ports"), so a switch
+///    contributes only a handful of distinct rows.
+/// 3. **Columns run-length-compress** — per switch, destinations with
+///    the same row collapse into `[start, next_start)` runs, which
+///    folded-Clos reach sets keep to a few dozen per switch regardless
+///    of the destination count.
+///
+/// Lookup is a binary search over the switch's runs (few dozen entries,
+/// ~5 probes) instead of one flat index — measurably free next to the
+/// draw + arbitration work per request.
+#[derive(Debug, PartialEq)]
+struct RleTable {
+    dst_space: usize,
+    /// Runs of switch `s` live at `col_off[s] .. col_off[s+1]` in the
+    /// two parallel run arrays.
+    col_off: Vec<u32>,
+    /// Ascending first-destination of each run; the first run of every
+    /// switch starts at 0, the last extends to `dst_space`.
+    runs_start: Vec<u32>,
+    /// Interned row id of each run.
+    runs_row: Vec<u32>,
+    /// Row `r`'s resolved out-ports live at `row_off[r] .. row_off[r+1]`
+    /// in `row_ports`.
+    row_off: Vec<u32>,
+    row_ports: Vec<u32>,
+}
+
+impl RleTable {
+    /// The resolved out-ports for `(switch, dst)`; empty when unroutable.
+    #[inline]
+    fn row(&self, switch: u32, dst: u32) -> &[u32] {
+        let lo = self.col_off[switch as usize] as usize;
+        let hi = self.col_off[switch as usize + 1] as usize;
+        let runs = &self.runs_start[lo..hi];
+        // Last run starting at or before dst; every switch's first run
+        // starts at 0, so the subtraction cannot underflow.
+        let k = lo + runs.partition_point(|&s| s <= dst) - 1;
+        let r = self.runs_row[k] as usize;
+        &self.row_ports[self.row_off[r] as usize..self.row_off[r + 1] as usize]
+    }
+
+    /// Logical bytes of the five arrays — the quantity checked against
+    /// the build budget and reported to the memory ratchet.
+    fn bytes(&self) -> usize {
+        rfc_graph::slice_heap_bytes(&self.col_off)
+            + rfc_graph::slice_heap_bytes(&self.runs_start)
+            + rfc_graph::slice_heap_bytes(&self.runs_row)
+            + rfc_graph::slice_heap_bytes(&self.row_off)
+            + rfc_graph::slice_heap_bytes(&self.row_ports)
+    }
+}
+
+impl rfc_graph::HeapBytes for Candidates {
+    fn heap_bytes(&self) -> usize {
+        match self {
+            Candidates::Table(t) => t.bytes(),
+            Candidates::Live => 0,
+        }
+    }
+}
+
+/// Above this many *bytes* of table arrays the build aborts and the
+/// simulation queries the oracle live. The deduplicated encoding keeps
+/// even the paper's Table 3 scale (cft(36,4), 209,952 terminals) around
+/// a dozen MB, so this is headroom, not a target.
+const TABLE_BUDGET: usize = 64 << 20;
 
 /// The per-cycle read-only context shared by every shard worker.
 #[derive(Debug)]
@@ -252,7 +320,7 @@ impl<'a, O: RoutingOracle + Sync> Simulation<'a, O> {
     }
 
     /// Like [`Simulation::new`] with an explicit candidate-table budget
-    /// (in `(switch, destination)` pairs); 0 forces live oracle queries.
+    /// in *bytes* of table arrays; 0 forces live oracle queries.
     /// Exposed for benchmarking and tests — `new` picks a sensible
     /// default.
     pub fn with_table_budget(
@@ -268,52 +336,8 @@ impl<'a, O: RoutingOracle + Sync> Simulation<'a, O> {
             .copied()
             .max()
             .map_or(0, |m| m as usize + 1);
-        let candidates = if net.num_switches() * dst_space <= budget {
-            // One job per switch; per-switch segments come back in
-            // switch order and are stitched serially, so the table is
-            // byte-identical to a serial build at any thread count.
-            let per_switch: Vec<(Vec<u32>, Vec<u32>)> = rfc_parallel::map_init(
-                (0..vid(net.num_switches())).collect(),
-                Vec::new,
-                |buf: &mut Vec<u32>, switch| {
-                    let mut lens = Vec::with_capacity(dst_space);
-                    let mut outs = Vec::new();
-                    for dst in 0..vid(dst_space) {
-                        let before = outs.len();
-                        if switch != dst {
-                            buf.clear();
-                            oracle.next_hops_into(switch, dst, buf);
-                            for &hop in buf.iter() {
-                                let out = net
-                                    .out_port_to(switch, hop)
-                                    .expect("oracle returned a non-neighbor");
-                                outs.push(out);
-                            }
-                        }
-                        lens.push(vid(outs.len() - before));
-                    }
-                    (lens, outs)
-                },
-            );
-            let mut offsets = Vec::with_capacity(net.num_switches() * dst_space + 1);
-            offsets.push(0u32);
-            let mut out_ports = Vec::new();
-            let mut total = 0u32;
-            for (lens, outs) in per_switch {
-                for len in lens {
-                    total += len;
-                    offsets.push(total);
-                }
-                out_ports.extend_from_slice(&outs);
-            }
-            Candidates::Table {
-                offsets,
-                out_ports,
-                dst_space,
-            }
-        } else {
-            Candidates::Live
-        };
+        let candidates = Self::build_table(net, oracle, dst_space, budget)
+            .map_or(Candidates::Live, Candidates::Table);
         Self {
             net,
             oracle,
@@ -322,17 +346,128 @@ impl<'a, O: RoutingOracle + Sync> Simulation<'a, O> {
         }
     }
 
+    /// Builds the deduplicated candidate table, or `None` when the byte
+    /// budget is exceeded or an index would overflow `u32` — both fall
+    /// back to live oracle queries rather than wrapping silently.
+    ///
+    /// Switches are processed in fixed-size chunks: each chunk fans out
+    /// over the shared worker pool (`rfc_parallel`) and is stitched
+    /// serially *in switch order*, so the arrays are byte-identical to a
+    /// serial build at any thread count, and the budget check between
+    /// switches bounds how far an over-budget build can overshoot before
+    /// bailing.
+    fn build_table(
+        net: &SimNetwork,
+        oracle: &O,
+        dst_space: usize,
+        budget: usize,
+    ) -> Option<RleTable> {
+        /// Switches per parallel stitching round.
+        const CHUNK: usize = 4096;
+        /// One switch's runs with switch-locally interned rows.
+        struct SwitchRuns {
+            starts: Vec<u32>,
+            /// Index into the local row pool, per run.
+            rows: Vec<u32>,
+            local_off: Vec<u32>,
+            local_ports: Vec<u32>,
+        }
+        if budget == 0 {
+            return None;
+        }
+        let dst32 = vid(dst_space);
+        let mut table = RleTable {
+            dst_space,
+            col_off: vec![0u32],
+            runs_start: Vec::new(),
+            runs_row: Vec::new(),
+            row_off: vec![0u32],
+            row_ports: Vec::new(),
+        };
+        // Global interner: row contents → id, in first-appearance order
+        // (switch-major), so the pool layout is deterministic. BTreeMap
+        // keeps it independent of any hasher state.
+        let mut interner: std::collections::BTreeMap<Vec<u32>, u32> =
+            std::collections::BTreeMap::new();
+        let all: Vec<u32> = (0..vid(net.num_switches())).collect();
+        for chunk in all.chunks(CHUNK) {
+            let per_switch: Vec<SwitchRuns> = rfc_parallel::map(chunk.to_vec(), |switch| {
+                let mut sr = SwitchRuns {
+                    starts: Vec::new(),
+                    rows: Vec::new(),
+                    local_off: vec![0u32],
+                    local_ports: Vec::new(),
+                };
+                let mut resolved: Vec<u32> = Vec::new();
+                oracle.for_each_dst_run(switch, dst32, &mut |start, hops| {
+                    resolved.clear();
+                    for &hop in hops {
+                        let out = net
+                            .out_port_to(switch, hop)
+                            .expect("oracle returned a non-neighbor");
+                        resolved.push(out);
+                    }
+                    // Canonicalize: intern the row locally (linear scan —
+                    // switches hold a handful of distinct rows) and merge
+                    // runs whose rows turn out equal.
+                    let local = (0..sr.local_off.len() - 1).find(|&r| {
+                        sr.local_ports[sr.local_off[r] as usize..sr.local_off[r + 1] as usize]
+                            == resolved[..]
+                    });
+                    let local = vid(local.unwrap_or_else(|| {
+                        sr.local_ports.extend_from_slice(&resolved);
+                        sr.local_off.push(vid(sr.local_ports.len()));
+                        sr.local_off.len() - 2
+                    }));
+                    if sr.rows.last() == Some(&local) {
+                        return;
+                    }
+                    sr.starts.push(start);
+                    sr.rows.push(local);
+                });
+                sr
+            });
+            for sr in per_switch {
+                // Map this switch's local rows into the shared pool.
+                let mut global_of_local: Vec<u32> = Vec::with_capacity(sr.local_off.len() - 1);
+                for r in 0..sr.local_off.len() - 1 {
+                    let ports =
+                        &sr.local_ports[sr.local_off[r] as usize..sr.local_off[r + 1] as usize];
+                    let id = match interner.get(ports) {
+                        Some(&id) => id,
+                        None => {
+                            let id = u32::try_from(table.row_off.len() - 1).ok()?;
+                            table.row_ports.extend_from_slice(ports);
+                            table
+                                .row_off
+                                .push(u32::try_from(table.row_ports.len()).ok()?);
+                            interner.insert(ports.to_vec(), id);
+                            id
+                        }
+                    };
+                    global_of_local.push(id);
+                }
+                for (start, local) in sr.starts.iter().zip(&sr.rows) {
+                    table.runs_start.push(*start);
+                    table.runs_row.push(global_of_local[*local as usize]);
+                }
+                table
+                    .col_off
+                    .push(u32::try_from(table.runs_start.len()).ok()?);
+                if table.bytes() > budget {
+                    return None;
+                }
+            }
+        }
+        Some(table)
+    }
+
     /// Whether any route exists from `switch` toward `dst` — the cheap
     /// injection-time pre-check.
     #[inline]
     fn has_route(&self, switch: u32, dst: u32, buf: &mut Vec<u32>) -> bool {
         match &self.candidates {
-            Candidates::Table {
-                offsets, dst_space, ..
-            } => {
-                let idx = switch as usize * dst_space + dst as usize;
-                offsets[idx + 1] > offsets[idx]
-            }
+            Candidates::Table(table) => !table.row(switch, dst).is_empty(),
             Candidates::Live => {
                 buf.clear();
                 self.oracle.next_hops_into(switch, dst, buf);
@@ -341,13 +476,31 @@ impl<'a, O: RoutingOracle + Sync> Simulation<'a, O> {
         }
     }
 
-    /// The raw table arrays, for the serial-vs-parallel build tests.
-    #[cfg(test)]
-    fn table_parts(&self) -> Option<(&[u32], &[u32])> {
+    /// Logical bytes of the materialized candidate table, or `None` when
+    /// the simulation runs on live oracle queries — the table half of
+    /// the `routing_bytes_per_terminal` figure (DESIGN.md §15).
+    pub fn candidate_table_bytes(&self) -> Option<usize> {
         match &self.candidates {
-            Candidates::Table {
-                offsets, out_ports, ..
-            } => Some((offsets, out_ports)),
+            Candidates::Table(table) => Some(table.bytes()),
+            Candidates::Live => None,
+        }
+    }
+
+    /// The raw table, for the serial-vs-parallel build tests.
+    #[cfg(test)]
+    fn table_parts(&self) -> Option<&RleTable> {
+        match &self.candidates {
+            Candidates::Table(table) => Some(table),
+            Candidates::Live => None,
+        }
+    }
+
+    /// Expanded table row for one `(switch, dst)` pair, for equivalence
+    /// tests against the dense per-destination oracle answers.
+    #[cfg(test)]
+    fn table_row(&self, switch: u32, dst: u32) -> Option<&[u32]> {
+        match &self.candidates {
+            Candidates::Table(table) => Some(table.row(switch, dst)),
             Candidates::Live => None,
         }
     }
@@ -851,27 +1004,26 @@ impl<'a, O: RoutingOracle + Sync> Simulation<'a, O> {
                 // candidate, high half starts the target-VC rotation.
                 let h = draw(ctx.streams.dec, now, u64::from(gid));
                 let out = match &self.candidates {
-                    Candidates::Table {
-                        offsets,
-                        out_ports,
-                        dst_space,
-                    } => {
-                        let ci = switch as usize * dst_space + routing_target as usize;
-                        let lo = offsets[ci] as usize;
-                        let hi = offsets[ci + 1] as usize;
-                        if hi == lo {
+                    Candidates::Table(table) => {
+                        let ports = table.row(switch, routing_target);
+                        if ports.is_empty() {
                             // Statically faulted networks never strand a
                             // packet mid-route (injection pre-checks),
                             // but stay safe: stall it.
                             i += 1;
                             continue;
                         }
-                        let k = lo
-                            + pick_candidate(cfg.request_mode, h, hi - lo, switch, routing_target);
-                        let out = out_ports[k];
+                        let k = pick_candidate(
+                            cfg.request_mode,
+                            h,
+                            ports.len(),
+                            switch,
+                            routing_target,
+                        );
+                        let out = ports[k];
                         if busy_until[out as usize] > now {
                             let mut wake = u64::MAX;
-                            for &cand in &out_ports[lo..hi] {
+                            for &cand in ports {
                                 wake = wake.min(busy_until[cand as usize]);
                             }
                             if wake > now {
@@ -1510,7 +1662,85 @@ mod tests {
         let s = serial.table_parts().expect("table fits the budget");
         let p = parallel.table_parts().expect("table fits the budget");
         assert_eq!(s, p, "parallel build diverged from serial");
-        assert!(!s.1.is_empty(), "table must hold resolved ports");
+        assert!(!s.row_ports.is_empty(), "table must hold resolved ports");
+    }
+
+    #[test]
+    fn deduped_table_rows_match_dense_oracle_answers() {
+        // Expanding the interned + run-length-compressed table back to
+        // one row per (switch, dst) pair must reproduce exactly what the
+        // old dense build stored: the oracle's answer, resolved to out
+        // ports, in oracle order. Checked on a regular CFT (long runs)
+        // and a random folded Clos (worst-case fragmentation).
+        let mut rng = rand::rngs::StdRng::seed_from_u64(41);
+        let nets = [
+            FoldedClos::cft(6, 3).unwrap(),
+            FoldedClos::random(8, 24, 3, &mut rng).unwrap(),
+        ];
+        for clos in &nets {
+            let routing = UpDownRouting::new(clos);
+            let net = SimNetwork::from_folded_clos(clos);
+            let sim = Simulation::new(&net, &routing, SimConfig::quick());
+            let table = sim.table_parts().expect("table fits the budget");
+            let dst_space = table.dst_space;
+            let mut hops = Vec::new();
+            for switch in 0..vid(net.num_switches()) {
+                for dst in 0..vid(dst_space) {
+                    hops.clear();
+                    routing.next_hops_into(switch, dst, &mut hops);
+                    let dense: Vec<u32> = hops
+                        .iter()
+                        .map(|&h| net.out_port_to(switch, h).unwrap())
+                        .collect();
+                    assert_eq!(
+                        sim.table_row(switch, dst).unwrap(),
+                        &dense[..],
+                        "switch {switch} dst {dst}"
+                    );
+                }
+            }
+            // And the dedup must actually pay: fewer pool entries than
+            // (switch, dst) pairs.
+            assert!(table.row_off.len() - 1 < net.num_switches() * dst_space);
+        }
+    }
+
+    #[test]
+    fn tiny_byte_budget_falls_back_to_live_with_identical_results() {
+        // The budget is now in bytes; a budget too small for even the
+        // per-switch offsets must abort the build cleanly (this is also
+        // the guard path for u32 offset overflow — both return None from
+        // build_table) and produce byte-identical results via the oracle.
+        let clos = FoldedClos::cft(6, 3).unwrap();
+        let routing = UpDownRouting::new(&clos);
+        let net = SimNetwork::from_folded_clos(&clos);
+        let cfg = SimConfig::quick();
+        let tiny = Simulation::with_table_budget(&net, &routing, cfg, 64);
+        assert_eq!(tiny.candidate_table_bytes(), None, "64 bytes cannot fit");
+        let full = Simulation::new(&net, &routing, cfg);
+        assert!(full.candidate_table_bytes().is_some());
+        assert_eq!(
+            tiny.run(TrafficPattern::Uniform, 0.5, 7),
+            full.run(TrafficPattern::Uniform, 0.5, 7),
+        );
+    }
+
+    #[test]
+    fn deduped_table_undercuts_the_dense_layout() {
+        // The old layout stored (switches × dst_space + 1) offsets plus
+        // every resolved port; the compressed table must come in well
+        // under just the offset array. cft(8, 4) has 64 destinations but
+        // only ~R/2 + 2 runs per switch, so the ratio is structural.
+        let clos = FoldedClos::cft(8, 4).unwrap();
+        let routing = UpDownRouting::new(&clos);
+        let net = SimNetwork::from_folded_clos(&clos);
+        let sim = Simulation::new(&net, &routing, SimConfig::quick());
+        let bytes = sim.candidate_table_bytes().unwrap();
+        let dense_offsets = (net.num_switches() * sim.table_parts().unwrap().dst_space + 1) * 4;
+        assert!(
+            bytes < dense_offsets / 2,
+            "{bytes} bytes should undercut {dense_offsets} bytes of dense offsets"
+        );
     }
 
     #[test]
@@ -1614,16 +1844,19 @@ mod tests {
         let net = SimNetwork::from_folded_clos(&clos);
         let cfg = SimConfig::quick();
         let cached = Simulation::new(&net, &routing, cfg);
+        assert!(
+            cached.candidate_table_bytes().is_some(),
+            "the deduped table must materialize"
+        );
         let live = Simulation::with_table_budget(&net, &routing, cfg, 0);
+        assert_eq!(live.candidate_table_bytes(), None);
         for (pattern, load) in [
             (TrafficPattern::Uniform, 0.4),
             (TrafficPattern::RandomPairing, 0.8),
         ] {
             let a = cached.run(pattern, load, 99);
             let b = live.run(pattern, load, 99);
-            assert_eq!(a.delivered_packets, b.delivered_packets, "{pattern}");
-            assert_eq!(a.avg_latency, b.avg_latency, "{pattern}");
-            assert_eq!(a.generated_packets, b.generated_packets, "{pattern}");
+            assert_eq!(a, b, "{pattern}: deduped table diverged from oracle");
         }
     }
 
