@@ -1,0 +1,8 @@
+//! Runs the bursty/hotspot traffic-model experiment (DESIGN.md §16).
+//!
+//! Thin shim over the experiment registry; `rfcgen repro --only burst`
+//! runs the same driver with provenance-stamped artifacts.
+
+fn main() {
+    rfc_bench::run_registry("burst");
+}

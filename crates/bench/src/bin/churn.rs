@@ -1,0 +1,8 @@
+//! Runs the Poisson link-churn experiment (DESIGN.md §16).
+//!
+//! Thin shim over the experiment registry; `rfcgen repro --only churn`
+//! runs the same driver with provenance-stamped artifacts.
+
+fn main() {
+    rfc_bench::run_registry("churn");
+}

@@ -20,6 +20,8 @@
 //!                                                                   # CI smoke: >2x regression fails
 //! cargo run --release -p rfc-bench --bin engine_baseline -- --scale large --table-only
 //!                                                                   # build-only: table kind + bytes
+//! cargo run --release -p rfc-bench --bin engine_baseline -- --scale medium --repair
+//!                                                                   # incremental repair vs rebuild
 //! ```
 //!
 //! The workload itself is scale-keyed (CFT topology, uniform traffic at
@@ -174,6 +176,36 @@ fn build_report(w: &Workload) {
         routing_bytes.div_ceil(net.num_terminals().max(1)),
         routing_build_ms,
         table_build_ms,
+    );
+}
+
+/// Times single-event incremental routing repair (topology overlay +
+/// [`UpDownRouting::apply_event`] + candidate-table patch) against a
+/// from-scratch rebuild on the same faulted topology (DESIGN.md §16).
+/// `--repair` uses it; the measured ratio is the Figure 11 driver's
+/// speed lever, so a collapse here is a perf regression even while all
+/// byte-identity tests stay green.
+fn repair_report(w: &Workload) {
+    let clos = match FoldedClos::cft(w.radix, w.levels) {
+        Ok(c) => c,
+        Err(e) => {
+            eprintln!("error: workload topology: {e}");
+            std::process::exit(1);
+        }
+    };
+    let mut cfg = SimConfig::paper_defaults();
+    cfg.warmup_cycles = w.warmup;
+    cfg.measure_cycles = w.measure;
+    let trials = 12.min(clos.links().len());
+    let b = rfc_net::sim::churn::repair_speedup(&clos, cfg, trials, SEED);
+    eprintln!(
+        "# {}: {} single-link events: incremental repair {:.2} ms/event vs \
+         full rebuild {:.2} ms/event — {:.1}x speedup",
+        w.name,
+        b.events,
+        b.incremental.as_secs_f64() * 1e3 / b.events.max(1) as f64,
+        b.full_rebuild.as_secs_f64() * 1e3 / b.events.max(1) as f64,
+        b.speedup(),
     );
 }
 
@@ -354,6 +386,7 @@ fn main() -> ExitCode {
     let mut threads: Option<usize> = None;
     let mut shards_override: Option<Vec<usize>> = None;
     let mut table_only = false;
+    let mut repair = false;
     let mut it = args.iter();
     while let Some(arg) = it.next() {
         let mut value = |name: &str| match it.next() {
@@ -385,10 +418,12 @@ fn main() -> ExitCode {
                 }
             }
             "--table-only" => table_only = true,
+            "--repair" => repair = true,
             _ => {
                 eprintln!(
                     "usage: engine_baseline [--scale small|medium|large] [--out PATH] \
-                     [--check BASELINE] [--threads N] [--shards N,N,...] [--table-only]"
+                     [--check BASELINE] [--threads N] [--shards N,N,...] [--table-only] \
+                     [--repair]"
                 );
                 return ExitCode::from(2);
             }
@@ -412,6 +447,13 @@ fn main() -> ExitCode {
     if table_only {
         for w in &workloads {
             build_report(w);
+        }
+        return ExitCode::SUCCESS;
+    }
+
+    if repair {
+        for w in &workloads {
+            repair_report(w);
         }
         return ExitCode::SUCCESS;
     }

@@ -40,7 +40,7 @@ pub fn cft_cost(radix: usize, levels: usize) -> NetworkCost {
         "invalid CFT parameters"
     );
     let k = radix / 2;
-    let n1 = 2 * k.pow(levels as u32 - 1);
+    let n1 = 2 * (1..levels).fold(1usize, |acc, _| acc * k);
     NetworkCost {
         switches: (levels - 1) * n1 + n1 / 2,
         switch_wires: (levels - 1) * n1 * k,
@@ -76,7 +76,7 @@ pub fn rfc_cost(radix: usize, n1: usize, levels: usize) -> NetworkCost {
 pub fn oft_cost(q: usize, levels: usize) -> NetworkCost {
     assert!(levels >= 2, "invalid OFT parameters");
     let m = q * q + q + 1;
-    let n1 = 2 * m.pow(levels as u32 - 1);
+    let n1 = 2 * (1..levels).fold(1usize, |acc, _| acc * m);
     NetworkCost {
         switches: (levels - 1) * n1 + n1 / 2,
         switch_wires: (levels - 1) * n1 * (q + 1),

@@ -13,7 +13,7 @@ use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 
 use rfc_graph::bisection::cut_width;
-use rfc_graph::Csr;
+use rfc_graph::{vid, Csr};
 use rfc_topology::{FoldedClos, Network, Rrn};
 
 use crate::parallel;
@@ -91,17 +91,13 @@ fn refine_within_levels(graph: &Csr, levels: &[(usize, usize)], side: &mut [bool
                 if !side[a] {
                     continue;
                 }
-                let ga = gain(side, a as u32);
+                let ga = gain(side, vid(a));
                 for b in lo..hi {
                     if side[b] {
                         continue;
                     }
-                    let adj = if graph.has_edge(a as u32, b as u32) {
-                        2
-                    } else {
-                        0
-                    };
-                    let delta = ga + gain(side, b as u32) - adj;
+                    let adj = if graph.has_edge(vid(a), vid(b)) { 2 } else { 0 };
+                    let delta = ga + gain(side, vid(b)) - adj;
                     if delta > best.map_or(0, |(_, _, d)| d) {
                         best = Some((a, b, delta));
                     }

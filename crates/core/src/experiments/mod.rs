@@ -23,9 +23,11 @@
 //! | [`bisection`] | Section 4.2 — empirical bisection bracket vs the analytic bounds |
 //! | [`diversity`] | Section 7 — minimal-path diversity across the four families |
 //! | [`ablation`] | design-choice ablations (request mode, VCs/buffers, stage independence) |
+//! | [`churn`] | dynamic networks — availability/accepted load under Poisson link churn |
 
 pub mod ablation;
 pub mod bisection;
+pub mod churn;
 pub mod context;
 pub mod costs;
 pub mod diversity;

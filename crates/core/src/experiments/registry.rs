@@ -24,7 +24,7 @@ use crate::theory;
 
 use super::context::{ExperimentContext, ExperimentError, ScenarioKind};
 use super::{
-    ablation, bisection, costs, diversity, fig11, fig12, fig5, fig6, fig7, simfig, table3,
+    ablation, bisection, churn, costs, diversity, fig11, fig12, fig5, fig6, fig7, simfig, table3,
     threshold,
 };
 
@@ -283,8 +283,49 @@ fn run_ablation(ctx: &mut ExperimentContext) -> Result<Vec<Report>, ExperimentEr
     Ok(reps)
 }
 
+fn run_churn(ctx: &mut ExperimentContext) -> Result<Vec<Report>, ExperimentError> {
+    let (radix, n1) = match ctx.scale() {
+        Scale::Small => (8usize, 32usize),
+        _ => (12, 72),
+    };
+    let cfg = ctx.sim_config();
+    let expected_events = ctx.trials_or(match ctx.scale() {
+        Scale::Small => 6,
+        Scale::Medium => 12,
+        Scale::Paper => 24,
+    });
+    let params = churn::ChurnParams::for_run(cfg.total_cycles(), expected_events as f64);
+    let rfc = ctx.rfc_with_routing(radix, n1, 3)?;
+    let cft = FoldedClos::cft(radix, 3)?;
+    let cft_routing = UpDownRouting::new(&cft);
+    Ok(vec![churn::report(
+        &[("cft", &cft, &cft_routing), ("rfc", &rfc.0, &rfc.1)],
+        params,
+        TrafficPattern::Uniform,
+        cfg,
+        ctx.seed(),
+        &format!("churn-poisson-{}", ctx.scale()),
+    )?])
+}
+
+fn run_burst(ctx: &mut ExperimentContext) -> Result<Vec<Report>, ExperimentError> {
+    let prepared = ctx.scenario(ScenarioKind::EqualResources)?;
+    Ok(vec![simfig::report(
+        &prepared,
+        &[
+            TrafficPattern::Uniform,
+            TrafficPattern::Bursty,
+            TrafficPattern::Hotspot,
+        ],
+        &simfig::default_loads(),
+        ctx.sim_config(),
+        ctx.seed(),
+        &format!("burst-equal-resources-{}", ctx.scale()),
+    )?])
+}
+
 /// The registry, in EXPERIMENTS.md order.
-static REGISTRY: [Entry; 14] = [
+static REGISTRY: [Entry; 16] = [
     Entry {
         name: "costs",
         description: "cost case studies: switches/wires and RFC savings at 11K/100K/200K",
@@ -369,6 +410,18 @@ static REGISTRY: [Entry; 14] = [
         paper_anchor: "DESIGN.md ablations",
         run: run_ablation,
     },
+    Entry {
+        name: "churn",
+        description: "availability and accepted load over time under Poisson link churn",
+        paper_anchor: "DESIGN.md §16 (dynamic networks)",
+        run: run_churn,
+    },
+    Entry {
+        name: "burst",
+        description: "latency/throughput under bursty and hotspot traffic (equal resources)",
+        paper_anchor: "DESIGN.md §16 (traffic models)",
+        run: run_burst,
+    },
 ];
 
 /// Every registered experiment, in canonical (EXPERIMENTS.md) order.
@@ -390,9 +443,9 @@ mod tests {
     use rfc_sim::SimConfig;
 
     #[test]
-    fn registry_has_14_unique_named_experiments() {
+    fn registry_has_16_unique_named_experiments() {
         let names: Vec<&str> = all().iter().map(|e| e.name()).collect();
-        assert_eq!(names.len(), 14);
+        assert_eq!(names.len(), 16);
         let mut dedup = names.clone();
         dedup.sort_unstable();
         dedup.dedup();

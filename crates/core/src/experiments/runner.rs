@@ -505,7 +505,7 @@ mod tests {
         let picked = select(Some(&["fig8".to_string(), "costs".to_string()])).unwrap();
         let names: Vec<_> = picked.iter().map(|e| e.name()).collect();
         assert_eq!(names, ["costs", "fig8"], "registry order, not CLI order");
-        assert_eq!(select(None).unwrap().len(), 14);
+        assert_eq!(select(None).unwrap().len(), 16);
     }
 
     #[test]

@@ -23,7 +23,7 @@ fn repo_root() -> PathBuf {
 #[test]
 fn registry_matches_experiments_md() {
     let names: BTreeSet<&str> = registry::all().iter().map(|e| e.name()).collect();
-    assert_eq!(names.len(), 14, "registry must hold 14 unique experiments");
+    assert_eq!(names.len(), 16, "registry must hold 16 unique experiments");
 
     let doc = fs::read_to_string(repo_root().join("EXPERIMENTS.md"))
         .expect("EXPERIMENTS.md must exist at the repo root");

@@ -110,6 +110,24 @@ impl BitSet {
         changed
     }
 
+    /// Calls `f(i)` for every index set in exactly one of the two sets,
+    /// in ascending order — one XOR per word, so near-equal sets cost
+    /// almost nothing.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the sets have different lengths.
+    pub fn for_each_diff(&self, other: &BitSet, mut f: impl FnMut(usize)) {
+        assert_eq!(self.len, other.len, "bitset length mismatch");
+        for (wi, (&a, &b)) in self.words.iter().zip(&other.words).enumerate() {
+            let mut x = a ^ b;
+            while x != 0 {
+                f(wi * 64 + x.trailing_zeros() as usize);
+                x &= x - 1;
+            }
+        }
+    }
+
     /// Whether the two sets share any bit.
     ///
     /// # Panics

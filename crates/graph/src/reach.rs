@@ -158,6 +158,101 @@ impl ReachSet {
         }
     }
 
+    /// Calls `f(i)` for every index in the symmetric difference of the
+    /// two sets, in ascending order.
+    ///
+    /// This is what lets incremental routing repair report *where* a
+    /// reach set changed without paying for its size: the dense/dense
+    /// case is one XOR per word, the interval/interval case a two-pointer
+    /// sweep over the run lists, and only the (rare) mixed-representation
+    /// case falls back to merging member iterators.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the sets have different universe lengths.
+    pub fn for_each_diff(&self, other: &ReachSet, mut f: impl FnMut(usize)) {
+        assert_eq!(self.len(), other.len(), "reach set length mismatch");
+        match (self, other) {
+            (ReachSet::Dense(a), ReachSet::Dense(b)) => a.for_each_diff(b, f),
+            (ReachSet::Intervals(a), ReachSet::Intervals(b)) => {
+                let ar = a.ranges();
+                let br = b.ranges();
+                let (mut i, mut j) = (0usize, 0usize);
+                let mut a_cur = ar.first().copied();
+                let mut b_cur = br.first().copied();
+                while let (Some((s1, e1)), Some((s2, e2))) = (a_cur, b_cur) {
+                    if e1 <= s2 {
+                        (s1..e1).for_each(|d| f(d as usize));
+                        i += 1;
+                        a_cur = ar.get(i).copied();
+                    } else if e2 <= s1 {
+                        (s2..e2).for_each(|d| f(d as usize));
+                        j += 1;
+                        b_cur = br.get(j).copied();
+                    } else {
+                        // Overlapping fronts: the part before the overlap
+                        // is one-sided, the overlap itself is common, and
+                        // whatever extends past it re-enters the sweep.
+                        (s1.min(s2)..s1.max(s2)).for_each(|d| f(d as usize));
+                        let m = e1.min(e2);
+                        if e1 > m {
+                            a_cur = Some((m, e1));
+                        } else {
+                            i += 1;
+                            a_cur = ar.get(i).copied();
+                        }
+                        if e2 > m {
+                            b_cur = Some((m, e2));
+                        } else {
+                            j += 1;
+                            b_cur = br.get(j).copied();
+                        }
+                    }
+                }
+                while let Some((s, e)) = a_cur {
+                    (s..e).for_each(|d| f(d as usize));
+                    i += 1;
+                    a_cur = ar.get(i).copied();
+                }
+                while let Some((s, e)) = b_cur {
+                    (s..e).for_each(|d| f(d as usize));
+                    j += 1;
+                    b_cur = br.get(j).copied();
+                }
+            }
+            _ => {
+                let mut ia = self.iter_ones();
+                let mut ib = other.iter_ones();
+                let (mut na, mut nb) = (ia.next(), ib.next());
+                loop {
+                    match (na, nb) {
+                        (Some(x), Some(y)) if x == y => {
+                            na = ia.next();
+                            nb = ib.next();
+                        }
+                        (Some(x), Some(y)) if x < y => {
+                            f(x);
+                            na = ia.next();
+                        }
+                        (Some(_), Some(y)) => {
+                            f(y);
+                            nb = ib.next();
+                        }
+                        (Some(x), None) => {
+                            f(x);
+                            na = ia.next();
+                        }
+                        (None, Some(y)) => {
+                            f(y);
+                            nb = ib.next();
+                        }
+                        (None, None) => break,
+                    }
+                }
+            }
+        }
+    }
+
     /// Whether every member of `other` is also a member of `self`.
     ///
     /// # Panics
@@ -332,6 +427,53 @@ mod tests {
             let mut runs = Vec::new();
             set.for_each_range(|s, e| runs.push((s, e)));
             assert_eq!(runs, vec![(0, 3), (64, 66), (127, 128)]);
+        }
+    }
+
+    #[test]
+    fn for_each_diff_matches_naive_symmetric_difference() {
+        let cases: Vec<(ReachSet, ReachSet)> = vec![
+            // interval / interval: nested, disjoint, and staggered runs.
+            (from_indices(64, &[]), from_indices(64, &[])),
+            (
+                {
+                    let mut s = ReachSet::new(256);
+                    if let ReachSet::Intervals(i) = &mut s {
+                        i.insert_range(10, 40);
+                        i.insert_range(100, 120);
+                    }
+                    s
+                },
+                {
+                    let mut s = ReachSet::new(256);
+                    if let ReachSet::Intervals(i) = &mut s {
+                        i.insert_range(20, 30);
+                        i.insert_range(110, 200);
+                    }
+                    s
+                },
+            ),
+            // dense / dense.
+            (
+                from_indices(200, &[0, 5, 64, 65, 130, 199]),
+                from_indices(200, &[5, 63, 65, 131, 199]),
+            ),
+            // mixed representations.
+            (
+                from_indices(128, &[0, 10, 20]),
+                from_indices(128, &[19, 20, 21]),
+            ),
+        ];
+        for (a, b) in cases {
+            let mut got = Vec::new();
+            a.for_each_diff(&b, |i| got.push(i));
+            let want: Vec<usize> = (0..a.len())
+                .filter(|&i| a.contains(i) != b.contains(i))
+                .collect();
+            assert_eq!(got, want, "a={a:?} b={b:?}");
+            let mut sym = Vec::new();
+            b.for_each_diff(&a, |i| sym.push(i));
+            assert_eq!(sym, want, "diff must be symmetric");
         }
     }
 

@@ -7,11 +7,21 @@
 //! the Theorem 4.2 threshold tolerate almost nothing; a slack radix
 //! (positive `x`) buys tolerance — scalability traded for
 //! fault-tolerance.
+//!
+//! The binary search runs on the incremental repair path: a
+//! [`LiveClos`] overlay and one [`UpDownRouting`] table are *seeked*
+//! through the shuffled removal prefix by applying/reverting link
+//! events ([`UpDownRouting::apply_event`]), instead of cloning the
+//! topology and rebuilding the table from scratch at every probe. The
+//! repaired table is byte-identical to a fresh build at every prefix,
+//! so trial results are unchanged.
+
+use std::collections::BTreeMap;
 
 use rand::seq::SliceRandom;
 use rand::Rng;
 
-use rfc_topology::{FoldedClos, Link};
+use rfc_topology::{FoldedClos, Link, LinkEvent, LiveClos};
 
 use crate::UpDownRouting;
 
@@ -36,6 +46,71 @@ impl ToleranceTrial {
     }
 }
 
+/// A live network plus routing table positioned at some removal prefix
+/// of a shuffled link list, moved by incremental link events.
+///
+/// `down_count` tracks multiplicity: the link list enumerates parallel
+/// copies individually, but a single fail event removes them all
+/// (matching [`FoldedClos::with_links_removed`] on the prefix), so the
+/// fail fires when the first copy enters the prefix and the recover
+/// when the last copy leaves it.
+struct PrefixSeeker {
+    live: LiveClos,
+    routing: UpDownRouting,
+    down_count: BTreeMap<Link, usize>,
+    applied: usize,
+}
+
+impl PrefixSeeker {
+    fn new(clos: &FoldedClos, routing: UpDownRouting) -> Self {
+        PrefixSeeker {
+            live: LiveClos::new(clos),
+            routing,
+            down_count: BTreeMap::new(),
+            applied: 0,
+        }
+    }
+
+    /// Moves the removal prefix to `links[..target]`, applying fail
+    /// events forward or recover events backward (in reverse order).
+    fn seek(&mut self, links: &[Link], target: usize) {
+        while self.applied < target {
+            let l = links[self.applied];
+            let c = self.down_count.entry(l).or_insert(0);
+            *c += 1;
+            if *c == 1 {
+                let ev = LinkEvent::fail(l);
+                if self.live.apply(&ev) {
+                    self.routing.apply_event(self.live.current(), &ev);
+                }
+            }
+            self.applied += 1;
+        }
+        while self.applied > target {
+            self.applied -= 1;
+            let l = links[self.applied];
+            let mut gone = false;
+            if let Some(c) = self.down_count.get_mut(&l) {
+                *c -= 1;
+                gone = *c == 0;
+            }
+            if gone {
+                self.down_count.remove(&l);
+                let ev = LinkEvent::recover(l);
+                if self.live.apply(&ev) {
+                    self.routing.apply_event(self.live.current(), &ev);
+                }
+            }
+        }
+    }
+
+    /// Whether the up/down property holds with `links[..k]` removed.
+    fn holds(&mut self, links: &[Link], k: usize) -> bool {
+        self.seek(links, k);
+        self.routing.has_updown_property()
+    }
+}
+
 /// Runs one tolerance trial: shuffles the link list and binary-searches
 /// the largest removal prefix preserving the up/down property (which is
 /// monotone in the removal prefix).
@@ -43,19 +118,17 @@ pub fn updown_tolerance_trial<R: Rng + ?Sized>(clos: &FoldedClos, rng: &mut R) -
     let mut links: Vec<Link> = clos.links();
     let total = links.len();
     links.shuffle(rng);
-    if !UpDownRouting::new(clos).has_updown_property() {
+    let routing = UpDownRouting::new(clos);
+    if !routing.has_updown_property() {
         return ToleranceTrial {
             tolerated: 0,
             total_links: total,
         };
     }
+    let mut seeker = PrefixSeeker::new(clos, routing);
     // property(k) = up/down holds with the first k links removed.
     // property(0) = true; find the largest k with property(k).
-    let holds = |k: usize| -> bool {
-        let faulty = clos.with_links_removed(&links[..k]);
-        UpDownRouting::new(&faulty).has_updown_property()
-    };
-    if holds(total) {
+    if seeker.holds(&links, total) {
         return ToleranceTrial {
             tolerated: total,
             total_links: total,
@@ -64,7 +137,7 @@ pub fn updown_tolerance_trial<R: Rng + ?Sized>(clos: &FoldedClos, rng: &mut R) -
     let (mut lo, mut hi) = (0usize, total); // holds(lo), !holds(hi)
     while hi - lo > 1 {
         let mid = (lo + hi) / 2;
-        if holds(mid) {
+        if seeker.holds(&links, mid) {
             lo = mid;
         } else {
             hi = mid;
@@ -142,5 +215,59 @@ mod tests {
             "below-threshold RFC lacks the property outright"
         );
         assert_eq!(mean_updown_tolerance(&net, 3, &mut rng), 0.0);
+    }
+
+    #[test]
+    fn incremental_search_matches_full_rebuild_reference() {
+        // The seeked trial must agree with the original clone-and-rebuild
+        // formulation probe for probe (same shuffle, same midpoints).
+        let reference = |clos: &FoldedClos, rng: &mut StdRng| -> ToleranceTrial {
+            let mut links: Vec<Link> = clos.links();
+            let total = links.len();
+            links.shuffle(rng);
+            if !UpDownRouting::new(clos).has_updown_property() {
+                return ToleranceTrial {
+                    tolerated: 0,
+                    total_links: total,
+                };
+            }
+            let holds = |k: usize| -> bool {
+                let faulty = clos.with_links_removed(&links[..k]);
+                UpDownRouting::new(&faulty).has_updown_property()
+            };
+            if holds(total) {
+                return ToleranceTrial {
+                    tolerated: total,
+                    total_links: total,
+                };
+            }
+            let (mut lo, mut hi) = (0usize, total);
+            while hi - lo > 1 {
+                let mid = (lo + hi) / 2;
+                if holds(mid) {
+                    lo = mid;
+                } else {
+                    hi = mid;
+                }
+            }
+            ToleranceTrial {
+                tolerated: lo,
+                total_links: total,
+            }
+        };
+        let mut rng_a = StdRng::seed_from_u64(77);
+        let mut rng_b = StdRng::seed_from_u64(77);
+        let nets = [
+            FoldedClos::cft(6, 3).unwrap(),
+            FoldedClos::random(8, 24, 3, &mut StdRng::seed_from_u64(5)).unwrap(),
+        ];
+        for net in &nets {
+            for _ in 0..3 {
+                assert_eq!(
+                    updown_tolerance_trial(net, &mut rng_a),
+                    reference(net, &mut rng_b)
+                );
+            }
+        }
     }
 }

@@ -41,4 +41,4 @@ mod updown;
 
 pub use oracle::RoutingOracle;
 pub use shortest::ShortestPathOracle;
-pub use updown::UpDownRouting;
+pub use updown::{RepairScope, UpDownRouting};

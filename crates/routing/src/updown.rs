@@ -1,13 +1,49 @@
 //! Up/down routing tables for folded Clos networks.
 
+use std::collections::BTreeSet;
 use std::fmt;
 
 use rand::Rng;
 
 use rfc_graph::{vid, HeapBytes, ReachSet};
-use rfc_topology::FoldedClos;
+use rfc_topology::{FoldedClos, LinkEvent};
 
 use crate::RoutingOracle;
+
+/// What an incremental repair ([`UpDownRouting::apply_event`]) touched.
+///
+/// `changed` drives correctness (which reach sets differ from before);
+/// `table_dirty` drives candidate-table patching (which switches' routing
+/// rows may differ — the changed switches, the event endpoints, and every
+/// current neighbor of a changed switch, since a row consults its
+/// neighbors' reach sets). The recompute counters expose how small the
+/// dirty ancestor region was relative to a full rebuild.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct RepairScope {
+    /// Switches whose `down_reach` or `updown_reach` changed (sorted).
+    pub changed: Vec<u32>,
+    /// Switches whose candidate rows must be rebuilt (sorted superset of
+    /// `changed` plus the event endpoints and neighbors of the changed).
+    pub table_dirty: Vec<u32>,
+    /// The event's `[lower, upper]` endpoints — the only switches whose
+    /// *adjacency* changed. Every other switch in `table_dirty` keeps its
+    /// neighbor lists, so its candidate row can differ from the pre-event
+    /// value only at destinations in [`dst_delta`](Self::dst_delta); a
+    /// table patcher may splice those rows instead of re-deriving the
+    /// whole column.
+    pub endpoints: [u32; 2],
+    /// Sorted leaves whose membership changed in at least one reach set
+    /// during this repair (the union of the symmetric differences of
+    /// every replaced `down_reach` / `updown_reach`). A candidate row
+    /// consults only its own adjacency, the `d == current` singleton, and
+    /// neighbor reach-set membership of `d`, so outside `endpoints` the
+    /// rows are unchanged at every destination not listed here.
+    pub dst_delta: Vec<u32>,
+    /// Down-reach sets recomputed (including unchanged re-derivations).
+    pub down_recomputed: usize,
+    /// Updown-reach sets recomputed (including unchanged re-derivations).
+    pub updown_recomputed: usize,
+}
 
 /// Deadlock-free equal-cost multi-path up/down routing (Section 4.1).
 ///
@@ -35,6 +71,13 @@ use crate::RoutingOracle;
 /// The table is self-contained (it copies the adjacency out of the
 /// [`FoldedClos`]), so it can outlive the topology and be queried from the
 /// simulator without lifetime coupling.
+///
+/// Tables can also be *repaired in place*: see
+/// [`UpDownRouting::apply_event`], which resynchronizes the CSR adjacency
+/// and recomputes only the reach sets inside the event's dirty ancestor
+/// region, producing state byte-identical to a from-scratch build on the
+/// post-event topology.
+#[derive(Clone, PartialEq, Eq)]
 pub struct UpDownRouting {
     num_leaves: usize,
     up_off: Vec<u32>,
@@ -144,6 +187,170 @@ impl UpDownRouting {
     #[inline]
     fn down(&self, s: usize) -> &[u32] {
         &self.down_adj[self.down_off[s] as usize..self.down_off[s + 1] as usize]
+    }
+
+    /// Replaces one CSR row, shifting subsequent offsets by the length
+    /// delta. O(adjacency) memmove — cheap next to the reach-set work.
+    fn replace_row(adj: &mut Vec<u32>, off: &mut [u32], s: usize, new_row: &[u32]) {
+        let start = off[s] as usize;
+        let end = off[s + 1] as usize;
+        let old_len = end - start;
+        adj.splice(start..end, new_row.iter().copied());
+        match new_row.len().cmp(&old_len) {
+            std::cmp::Ordering::Greater => {
+                let d = vid(new_row.len() - old_len);
+                for o in &mut off[s + 1..] {
+                    *o += d;
+                }
+            }
+            std::cmp::Ordering::Less => {
+                let d = vid(old_len - new_row.len());
+                for o in &mut off[s + 1..] {
+                    *o -= d;
+                }
+            }
+            std::cmp::Ordering::Equal => {}
+        }
+    }
+
+    /// Incrementally repairs the table after one applied link event.
+    ///
+    /// `clos` must be the **post-event** topology (e.g.
+    /// [`rfc_topology::LiveClos::current`] after `apply` returned `true`);
+    /// the recovery insertion position is only known to the topology, so
+    /// the CSR rows of the event's endpoints are resynchronized from it.
+    /// Reach sets are then re-derived only inside the dirty region: the
+    /// `down_reach` pass ascends from the upper endpoint, the
+    /// `updown_reach` pass descends from the lower endpoint and from the
+    /// down-neighbors of every down-changed switch. Each re-derivation
+    /// starts from an empty set and unions neighbors in adjacency order —
+    /// the exact operation sequence of [`UpDownRouting::new`] — so
+    /// representation choices (interval vs dense) reproduce and the table
+    /// ends **byte-identical** to a from-scratch build on `clos`: dirty
+    /// sets are recomputed identically, and clean sets equal the fresh
+    /// values by induction (pure functions of unchanged inputs).
+    ///
+    /// Reverting an event (applying its
+    /// [`inverse`](rfc_topology::LinkEvent::inverse) after reverting the
+    /// topology) therefore restores byte-identical state.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the event's endpoints are out of range for `clos`.
+    pub fn apply_event(&mut self, clos: &FoldedClos, event: &LinkEvent) -> RepairScope {
+        let (lower, upper) = if event.link.lower < event.link.upper {
+            (event.link.lower, event.link.upper)
+        } else {
+            (event.link.upper, event.link.lower)
+        };
+        let leaves = self.num_leaves;
+        let levels = clos.num_levels();
+
+        // 1. Resynchronize the two CSR rows touched by the event.
+        Self::replace_row(
+            &mut self.up_adj,
+            &mut self.up_off,
+            lower as usize,
+            &clos.up_neighbors(lower),
+        );
+        Self::replace_row(
+            &mut self.down_adj,
+            &mut self.down_off,
+            upper as usize,
+            &clos.down_neighbors(upper),
+        );
+
+        let mut changed: BTreeSet<u32> = BTreeSet::new();
+        let mut down_recomputed = 0usize;
+        let mut updown_recomputed = 0usize;
+        // Destinations whose membership changed in any replaced set —
+        // the splice frontier for candidate-table patching.
+        let mut delta_mark = vec![false; leaves];
+
+        // 2. Down-reach repair, ascending from the upper endpoint. Leaves
+        // are self-seeded and never dirty.
+        let mut dirty: Vec<BTreeSet<u32>> = vec![BTreeSet::new(); levels];
+        dirty[clos.level_of(upper)].insert(upper);
+        for level in 1..levels {
+            let ids: Vec<u32> = std::mem::take(&mut dirty[level]).into_iter().collect();
+            for s in ids {
+                let mut acc = ReachSet::new(leaves);
+                for &d in self.down(s as usize) {
+                    acc.union_with(&self.down_reach[d as usize]);
+                }
+                down_recomputed += 1;
+                if acc != self.down_reach[s as usize] {
+                    acc.for_each_diff(&self.down_reach[s as usize], |d| delta_mark[d] = true);
+                    self.down_reach[s as usize] = acc;
+                    changed.insert(s);
+                    if level + 1 < levels {
+                        for &u in self.up(s as usize) {
+                            dirty[level + 1].insert(u);
+                        }
+                    }
+                }
+            }
+        }
+
+        // 3. Updown-reach repair, descending. Dirty: the lower endpoint
+        // (its up-adjacency changed) plus the down-neighbors of every
+        // down-changed switch (their up-neighbors' inputs changed). Roots
+        // have no up-neighbors and stay empty.
+        let mut dirty_ud: Vec<BTreeSet<u32>> = vec![BTreeSet::new(); levels];
+        dirty_ud[clos.level_of(lower)].insert(lower);
+        for &s in &changed {
+            for &d in self.down(s as usize) {
+                dirty_ud[clos.level_of(d)].insert(d);
+            }
+        }
+        for level in (0..levels.saturating_sub(1)).rev() {
+            let ids: Vec<u32> = std::mem::take(&mut dirty_ud[level]).into_iter().collect();
+            for s in ids {
+                let mut acc = ReachSet::new(leaves);
+                for &u in self.up(s as usize) {
+                    acc.union_with(&self.down_reach[u as usize]);
+                    acc.union_with(&self.updown_reach[u as usize]);
+                }
+                updown_recomputed += 1;
+                if acc != self.updown_reach[s as usize] {
+                    acc.for_each_diff(&self.updown_reach[s as usize], |d| delta_mark[d] = true);
+                    self.updown_reach[s as usize] = acc;
+                    changed.insert(s);
+                    if level > 0 {
+                        for &d in self.down(s as usize) {
+                            dirty_ud[level - 1].insert(d);
+                        }
+                    }
+                }
+            }
+        }
+
+        // 4. Candidate rows consult a switch's own adjacency and its
+        // neighbors' reach sets, so the dirty rows are the changed
+        // switches, their current neighbors, and the two endpoints.
+        let mut table_dirty: BTreeSet<u32> = changed.clone();
+        table_dirty.insert(lower);
+        table_dirty.insert(upper);
+        for &s in &changed {
+            for &u in self.up(s as usize) {
+                table_dirty.insert(u);
+            }
+            for &d in self.down(s as usize) {
+                table_dirty.insert(d);
+            }
+        }
+        RepairScope {
+            changed: changed.into_iter().collect(),
+            table_dirty: table_dirty.into_iter().collect(),
+            endpoints: [lower, upper],
+            dst_delta: delta_mark
+                .iter()
+                .enumerate()
+                .filter_map(|(d, &m)| m.then(|| vid(d)))
+                .collect(),
+            down_recomputed,
+            updown_recomputed,
+        }
     }
 
     /// Number of leaf switches covered by the table.
@@ -881,6 +1088,85 @@ mod tests {
                 }
             }
         }
+    }
+
+    #[test]
+    fn apply_event_matches_from_scratch_build() {
+        use rfc_topology::LiveClos;
+        let mut rng = StdRng::seed_from_u64(41);
+        let net = FoldedClos::random(6, 16, 3, &mut rng).unwrap();
+        let mut live = LiveClos::new(&net);
+        let mut r = UpDownRouting::new(&net);
+        let links = net.links();
+        let mut applied = 0;
+        for i in 0..24 {
+            let l = links[(i * 7) % links.len()];
+            let ev = if i % 3 == 2 {
+                LinkEvent::recover(l)
+            } else {
+                LinkEvent::fail(l)
+            };
+            if !live.apply(&ev) {
+                continue;
+            }
+            applied += 1;
+            let scope = r.apply_event(live.current(), &ev);
+            let fresh = UpDownRouting::new(live.current());
+            assert_eq!(r, fresh, "after event {i} ({ev:?})");
+            assert!(
+                scope.down_recomputed + scope.updown_recomputed <= net.num_switches(),
+                "repair must not exceed a full rebuild"
+            );
+            for pair in scope.changed.windows(2) {
+                assert!(pair[0] < pair[1], "changed must be sorted");
+            }
+            for &s in &scope.changed {
+                assert!(
+                    scope.table_dirty.contains(&s),
+                    "table_dirty must cover changed"
+                );
+            }
+        }
+        assert!(applied > 10, "exercise both event kinds");
+    }
+
+    #[test]
+    fn apply_then_revert_restores_byte_identical_state() {
+        use rfc_topology::LiveClos;
+        let net = FoldedClos::cft(6, 3).unwrap();
+        let before = UpDownRouting::new(&net);
+        let mut live = LiveClos::new(&net);
+        let mut r = before.clone();
+        for l in [net.links()[3], net.links()[17]] {
+            let ev = LinkEvent::fail(l);
+            assert!(live.apply(&ev));
+            r.apply_event(live.current(), &ev);
+            assert_ne!(r, before, "failing a CFT link must change reach state");
+            assert!(live.apply(&ev.inverse()));
+            r.apply_event(live.current(), &ev.inverse());
+            assert_eq!(r, before);
+        }
+    }
+
+    #[test]
+    fn repair_scope_is_local_on_a_cft() {
+        use rfc_topology::LiveClos;
+        // On a large CFT a single stage-0 link failure dirties the
+        // ancestor cone around it, not the whole network.
+        let net = FoldedClos::cft(16, 4).unwrap();
+        let mut live = LiveClos::new(&net);
+        let mut r = UpDownRouting::new(&net);
+        let ev = LinkEvent::fail(net.links()[0]);
+        assert!(live.apply(&ev));
+        let scope = r.apply_event(live.current(), &ev);
+        assert!(
+            scope.down_recomputed + scope.updown_recomputed < net.num_switches() / 2,
+            "repair visited {} + {} of {} switches",
+            scope.down_recomputed,
+            scope.updown_recomputed,
+            net.num_switches()
+        );
+        assert_eq!(r, UpDownRouting::new(live.current()));
     }
 
     #[test]

@@ -35,8 +35,6 @@
 //! because the RNG draw sequence changed shape (the same precedent as
 //! the PR 3 engine overhaul).
 
-use std::sync::Mutex;
-
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 
@@ -45,10 +43,11 @@ use rfc_routing::RoutingOracle;
 
 use crate::network::{OutTarget, SimNetwork};
 use crate::shard::{
-    bounded_hi, bounded_lo, drain_mailboxes, draw, lat32, mailbox_push, reservoir_offer, u8_of,
-    Event, Request, Sample, ShardMsg, ShardPlan, ShardState, Streams, NO_PORT, NO_REQ,
+    bounded_hi, bounded_lo, drain_mailboxes, draw, lat32, mailbox_push, new_mailboxes,
+    reservoir_offer, u8_of, Event, MailboxCell, Request, Sample, ShardMsg, ShardPlan, ShardState,
+    Streams, NO_PORT, NO_REQ,
 };
-use crate::traffic::TrafficState;
+use crate::traffic::TrafficModel;
 use crate::{RequestMode, SimConfig, SimResult, TrafficPattern};
 
 /// Size of the event wheel; link latency + packet length must stay below
@@ -140,8 +139,8 @@ impl Default for Packet {
 /// for every head packet every cycle — so for all but huge networks the
 /// answers are materialized once, fully *resolved to output ports*,
 /// removing the per-request neighbor binary search from the cycle loop.
-#[derive(Debug)]
-enum Candidates {
+#[derive(Debug, Clone)]
+pub(crate) enum Candidates {
     /// Materialized, deduplicated, run-length-compressed table.
     Table(RleTable),
     /// Table would exceed the byte budget (or its offsets would overflow
@@ -168,21 +167,21 @@ enum Candidates {
 /// Lookup is a binary search over the switch's runs (few dozen entries,
 /// ~5 probes) instead of one flat index — measurably free next to the
 /// draw + arbitration work per request.
-#[derive(Debug, PartialEq)]
-struct RleTable {
-    dst_space: usize,
+#[derive(Debug, Clone, PartialEq)]
+pub(crate) struct RleTable {
+    pub(crate) dst_space: usize,
     /// Runs of switch `s` live at `col_off[s] .. col_off[s+1]` in the
     /// two parallel run arrays.
-    col_off: Vec<u32>,
+    pub(crate) col_off: Vec<u32>,
     /// Ascending first-destination of each run; the first run of every
     /// switch starts at 0, the last extends to `dst_space`.
-    runs_start: Vec<u32>,
+    pub(crate) runs_start: Vec<u32>,
     /// Interned row id of each run.
-    runs_row: Vec<u32>,
+    pub(crate) runs_row: Vec<u32>,
     /// Row `r`'s resolved out-ports live at `row_off[r] .. row_off[r+1]`
     /// in `row_ports`.
-    row_off: Vec<u32>,
-    row_ports: Vec<u32>,
+    pub(crate) row_off: Vec<u32>,
+    pub(crate) row_ports: Vec<u32>,
 }
 
 impl RleTable {
@@ -210,6 +209,251 @@ impl RleTable {
     }
 }
 
+/// A fresh, zero-switch [`RleTable`] ready for stitching.
+fn empty_table(dst_space: usize) -> RleTable {
+    RleTable {
+        dst_space,
+        col_off: vec![0u32],
+        runs_start: Vec::new(),
+        runs_row: Vec::new(),
+        row_off: vec![0u32],
+        row_ports: Vec::new(),
+    }
+}
+
+/// Row contents → global row id, in first-appearance order. BTreeMap
+/// keeps the layout independent of any hasher state.
+pub(crate) type RowInterner = std::collections::BTreeMap<Vec<u32>, u32>;
+
+/// The content → id index of `table`'s row pool, exactly as
+/// [`Simulation::patch_table`] consumes and maintains it. Built once
+/// per dynamic routing replica (see [`crate::churn`]); each patch then
+/// renumbers it in place instead of re-deriving it, which is what keeps
+/// a single-event patch an order of magnitude under a full build.
+pub(crate) fn row_index(table: &RleTable) -> RowInterner {
+    let mut index = RowInterner::new();
+    for r in 0..table.row_off.len() - 1 {
+        let ports = &table.row_ports[table.row_off[r] as usize..table.row_off[r + 1] as usize];
+        index.insert(ports.to_vec(), vid(r));
+    }
+    index
+}
+
+/// Dirty-region description for [`Simulation::patch_table`], distilled
+/// from a routing repair (`rfc_routing::RepairScope`).
+pub(crate) struct PatchScope<'a> {
+    /// Switches whose columns must be re-derived (sorted, deduplicated).
+    pub dirty: &'a [u32],
+    /// The switches whose *adjacency* changed — their columns are
+    /// recomputed from the oracle in full. Every other dirty switch keeps
+    /// its neighbor lists and can differ only at `dst_delta`
+    /// destinations, so its column is spliced from the old table.
+    pub full: &'a [u32],
+    /// Sorted destinations at which a non-`full` dirty switch's row may
+    /// differ from its pre-event value.
+    pub dst_delta: &'a [u32],
+}
+
+/// One switch's runs with switch-locally interned rows.
+struct SwitchRuns {
+    starts: Vec<u32>,
+    /// Index into the local row pool, per run.
+    rows: Vec<u32>,
+    local_off: Vec<u32>,
+    local_ports: Vec<u32>,
+    /// Per local row: the old-table row id this content was copied from,
+    /// or `u32::MAX` when freshly derived from the oracle. Lets the
+    /// patch stitcher renumber spliced rows through its id array instead
+    /// of re-interning them by content.
+    local_old: Vec<u32>,
+}
+
+impl SwitchRuns {
+    fn empty() -> Self {
+        SwitchRuns {
+            starts: Vec::new(),
+            rows: Vec::new(),
+            local_off: vec![0u32],
+            local_ports: Vec::new(),
+            local_old: Vec::new(),
+        }
+    }
+
+    /// Resets to empty, keeping allocations — the patch loop reuses one
+    /// instance across every dirty switch.
+    fn clear(&mut self) {
+        self.starts.clear();
+        self.rows.clear();
+        self.local_off.clear();
+        self.local_off.push(0);
+        self.local_ports.clear();
+        self.local_old.clear();
+    }
+
+    /// Appends one run, interning its row locally (linear scan —
+    /// switches hold a handful of distinct rows) and merging runs whose
+    /// rows turn out equal. `old_id` records the old-table identity of a
+    /// copied row (`u32::MAX` = derived, identity unknown).
+    fn push_run(&mut self, start: u32, resolved: &[u32], old_id: u32) {
+        let local = (0..self.local_off.len() - 1).find(|&r| {
+            self.local_ports[self.local_off[r] as usize..self.local_off[r + 1] as usize]
+                == resolved[..]
+        });
+        let local = vid(local.unwrap_or_else(|| {
+            self.local_ports.extend_from_slice(resolved);
+            self.local_off.push(vid(self.local_ports.len()));
+            self.local_old.push(old_id);
+            self.local_off.len() - 2
+        }));
+        // Old-table interning was content-unique, so a re-encounter that
+        // knows its old id can settle a previously derived row's identity.
+        if old_id != u32::MAX && self.local_old[local as usize] == u32::MAX {
+            self.local_old[local as usize] = old_id;
+        }
+        if self.rows.last() == Some(&local) {
+            return;
+        }
+        self.starts.push(start);
+        self.rows.push(local);
+    }
+}
+
+/// Resolves one switch's oracle answers to out-port runs.
+fn switch_runs<O: RoutingOracle + ?Sized>(
+    net: &SimNetwork,
+    oracle: &O,
+    switch: u32,
+    dst32: u32,
+) -> SwitchRuns {
+    let mut sr = SwitchRuns::empty();
+    let mut resolved: Vec<u32> = Vec::new();
+    switch_runs_into(net, oracle, switch, dst32, &mut sr, &mut resolved);
+    sr
+}
+
+/// Resolves next-hop switch ids into `switch`'s out-port numbers,
+/// overwriting `resolved`.
+///
+/// # Panics
+///
+/// Panics if a hop is not a neighbor of `switch` — the oracle and the
+/// network disagree about adjacency, which no repair can make sound.
+fn resolve_out_ports(net: &SimNetwork, switch: u32, hops: &[u32], resolved: &mut Vec<u32>) {
+    resolved.clear();
+    for &hop in hops {
+        let out = net
+            .out_port_to(switch, hop)
+            .expect("oracle returned a non-neighbor");
+        resolved.push(out);
+    }
+}
+
+/// [`switch_runs`] writing into caller-owned buffers (cleared first).
+fn switch_runs_into<O: RoutingOracle + ?Sized>(
+    net: &SimNetwork,
+    oracle: &O,
+    switch: u32,
+    dst32: u32,
+    sr: &mut SwitchRuns,
+    resolved: &mut Vec<u32>,
+) {
+    sr.clear();
+    oracle.for_each_dst_run(switch, dst32, &mut |start, hops| {
+        resolve_out_ports(net, switch, hops, resolved);
+        sr.push_run(start, resolved, u32::MAX);
+    });
+}
+
+/// Rebuilds one *dirty but adjacency-stable* switch's runs by splicing:
+/// the old column is kept wholesale except at `delta` destinations,
+/// where the row is re-resolved against the repaired oracle. Sound
+/// because such a switch's row can change only where a consulted reach
+/// set's membership changed (see `rfc_routing::RepairScope::dst_delta`);
+/// [`SwitchRuns::push_run`] re-merges equal neighbors, so the result is
+/// byte-identical to a full [`switch_runs`] re-derivation.
+#[allow(clippy::too_many_arguments)]
+fn splice_runs_into<O: RoutingOracle + ?Sized>(
+    net: &SimNetwork,
+    oracle: &O,
+    old: &RleTable,
+    switch: u32,
+    delta: &[u32],
+    dst32: u32,
+    sr: &mut SwitchRuns,
+    hops: &mut Vec<u32>,
+    resolved: &mut Vec<u32>,
+) {
+    sr.clear();
+    let lo = old.col_off[switch as usize] as usize;
+    let hi = old.col_off[switch as usize + 1] as usize;
+    let mut di = delta.partition_point(|&d| d < old.runs_start.get(lo).copied().unwrap_or(0));
+    for k in lo..hi {
+        let a = old.runs_start[k];
+        let b = if k + 1 < hi {
+            old.runs_start[k + 1]
+        } else {
+            dst32
+        };
+        let old_id = old.runs_row[k] as usize;
+        let content =
+            &old.row_ports[old.row_off[old_id] as usize..old.row_off[old_id + 1] as usize];
+        let mut pos = a;
+        while di < delta.len() && delta[di] < b {
+            let d = delta[di];
+            di += 1;
+            if pos < d {
+                sr.push_run(pos, content, old.runs_row[k]);
+            }
+            hops.clear();
+            oracle.next_hops_into(switch, d, hops);
+            resolve_out_ports(net, switch, hops, resolved);
+            sr.push_run(d, resolved, u32::MAX);
+            pos = d + 1;
+        }
+        if pos < b {
+            sr.push_run(pos, content, old.runs_row[k]);
+        }
+    }
+}
+
+/// Appends one row's ports to the shared pool, returning its id.
+/// `None` on `u32` overflow (callers fall back to live queries).
+fn append_row(table: &mut RleTable, ports: &[u32]) -> Option<u32> {
+    let id = u32::try_from(table.row_off.len() - 1).ok()?;
+    table.row_ports.extend_from_slice(ports);
+    table
+        .row_off
+        .push(u32::try_from(table.row_ports.len()).ok()?);
+    Some(id)
+}
+
+/// Maps one switch's locally interned runs into the shared pool,
+/// appending its column to `table`. Returns `None` on `u32` overflow
+/// (the caller falls back to live queries).
+fn stitch_switch(table: &mut RleTable, interner: &mut RowInterner, sr: &SwitchRuns) -> Option<()> {
+    let mut global_of_local: Vec<u32> = Vec::with_capacity(sr.local_off.len() - 1);
+    for r in 0..sr.local_off.len() - 1 {
+        let ports = &sr.local_ports[sr.local_off[r] as usize..sr.local_off[r + 1] as usize];
+        let id = match interner.get(ports) {
+            Some(&id) => id,
+            None => {
+                let id = append_row(table, ports)?;
+                interner.insert(ports.to_vec(), id);
+                id
+            }
+        };
+        global_of_local.push(id);
+    }
+    for (start, local) in sr.starts.iter().zip(&sr.rows) {
+        table.runs_start.push(*start);
+        table.runs_row.push(global_of_local[*local as usize]);
+    }
+    table
+        .col_off
+        .push(u32::try_from(table.runs_start.len()).ok()?);
+    Some(())
+}
+
 impl rfc_graph::HeapBytes for Candidates {
     fn heap_bytes(&self) -> usize {
         match self {
@@ -227,16 +471,16 @@ const TABLE_BUDGET: usize = 64 << 20;
 
 /// The per-cycle read-only context shared by every shard worker.
 #[derive(Debug)]
-struct StepCtx<'t> {
-    traffic: &'t TrafficState,
-    streams: Streams,
-    p_gen: f64,
+pub(crate) struct StepCtx<'t> {
+    pub(crate) traffic: &'t dyn TrafficModel,
+    pub(crate) streams: Streams,
+    pub(crate) p_gen: f64,
     /// Precomputed `ln(1 - p_gen)`; see [`geometric_gap`].
-    ln_q: f64,
+    pub(crate) ln_q: f64,
     /// Terminal count, for the Valiant intermediate pick.
-    t32: u32,
-    warmup: u64,
-    end: u64,
+    pub(crate) t32: u32,
+    pub(crate) warmup: u64,
+    pub(crate) end: u64,
 }
 
 /// Reusable per-run buffers for [`Simulation::run_scratch`].
@@ -255,15 +499,15 @@ struct StepCtx<'t> {
 #[derive(Debug, Default)]
 pub struct RunScratch {
     /// The switch partition and global↔local port maps.
-    plan: ShardPlan,
+    pub(crate) plan: ShardPlan,
     /// One complete engine state per shard.
-    shard_states: Vec<ShardState>,
+    pub(crate) shard_states: Vec<ShardState>,
     /// Reservoir merge area (all shards' samples, sorted, truncated).
-    merge_buf: Vec<Sample>,
+    pub(crate) merge_buf: Vec<Sample>,
     /// The merged, sorted latency values percentiles are read from.
-    latency_samples: Vec<u32>,
+    pub(crate) latency_samples: Vec<u32>,
     /// Per-output-port busy cycles scattered back to global port order.
-    busy_global: Vec<u64>,
+    pub(crate) busy_global: Vec<u64>,
 }
 
 impl RunScratch {
@@ -275,7 +519,7 @@ impl RunScratch {
 
     /// Rebuilds the shard plan and clears/resizes every per-shard state.
     /// Retains capacity across calls.
-    fn reset(&mut self, net: &SimNetwork, cfg: &SimConfig, shards: usize, inj_stream: u64) {
+    pub(crate) fn reset(&mut self, net: &SimNetwork, cfg: &SimConfig, shards: usize, inj_stream: u64) {
         self.plan.build(net, shards);
         self.shard_states.truncate(shards);
         while self.shard_states.len() < shards {
@@ -302,6 +546,9 @@ pub struct Simulation<'a, O> {
     oracle: &'a O,
     config: SimConfig,
     candidates: Candidates,
+    /// The byte budget the table was built under; churn repairs patch
+    /// under the same budget.
+    table_budget: usize,
 }
 
 impl<'a, O: RoutingOracle + Sync> Simulation<'a, O> {
@@ -343,6 +590,7 @@ impl<'a, O: RoutingOracle + Sync> Simulation<'a, O> {
             oracle,
             config,
             candidates,
+            table_budget: budget,
         }
     }
 
@@ -364,96 +612,21 @@ impl<'a, O: RoutingOracle + Sync> Simulation<'a, O> {
     ) -> Option<RleTable> {
         /// Switches per parallel stitching round.
         const CHUNK: usize = 4096;
-        /// One switch's runs with switch-locally interned rows.
-        struct SwitchRuns {
-            starts: Vec<u32>,
-            /// Index into the local row pool, per run.
-            rows: Vec<u32>,
-            local_off: Vec<u32>,
-            local_ports: Vec<u32>,
-        }
         if budget == 0 {
             return None;
         }
         let dst32 = vid(dst_space);
-        let mut table = RleTable {
-            dst_space,
-            col_off: vec![0u32],
-            runs_start: Vec::new(),
-            runs_row: Vec::new(),
-            row_off: vec![0u32],
-            row_ports: Vec::new(),
-        };
+        let mut table = empty_table(dst_space);
         // Global interner: row contents → id, in first-appearance order
         // (switch-major), so the pool layout is deterministic. BTreeMap
         // keeps it independent of any hasher state.
-        let mut interner: std::collections::BTreeMap<Vec<u32>, u32> =
-            std::collections::BTreeMap::new();
+        let mut interner: RowInterner = RowInterner::new();
         let all: Vec<u32> = (0..vid(net.num_switches())).collect();
         for chunk in all.chunks(CHUNK) {
-            let per_switch: Vec<SwitchRuns> = rfc_parallel::map(chunk.to_vec(), |switch| {
-                let mut sr = SwitchRuns {
-                    starts: Vec::new(),
-                    rows: Vec::new(),
-                    local_off: vec![0u32],
-                    local_ports: Vec::new(),
-                };
-                let mut resolved: Vec<u32> = Vec::new();
-                oracle.for_each_dst_run(switch, dst32, &mut |start, hops| {
-                    resolved.clear();
-                    for &hop in hops {
-                        let out = net
-                            .out_port_to(switch, hop)
-                            .expect("oracle returned a non-neighbor");
-                        resolved.push(out);
-                    }
-                    // Canonicalize: intern the row locally (linear scan —
-                    // switches hold a handful of distinct rows) and merge
-                    // runs whose rows turn out equal.
-                    let local = (0..sr.local_off.len() - 1).find(|&r| {
-                        sr.local_ports[sr.local_off[r] as usize..sr.local_off[r + 1] as usize]
-                            == resolved[..]
-                    });
-                    let local = vid(local.unwrap_or_else(|| {
-                        sr.local_ports.extend_from_slice(&resolved);
-                        sr.local_off.push(vid(sr.local_ports.len()));
-                        sr.local_off.len() - 2
-                    }));
-                    if sr.rows.last() == Some(&local) {
-                        return;
-                    }
-                    sr.starts.push(start);
-                    sr.rows.push(local);
-                });
-                sr
-            });
+            let per_switch: Vec<SwitchRuns> =
+                rfc_parallel::map(chunk.to_vec(), |switch| switch_runs(net, oracle, switch, dst32));
             for sr in per_switch {
-                // Map this switch's local rows into the shared pool.
-                let mut global_of_local: Vec<u32> = Vec::with_capacity(sr.local_off.len() - 1);
-                for r in 0..sr.local_off.len() - 1 {
-                    let ports =
-                        &sr.local_ports[sr.local_off[r] as usize..sr.local_off[r + 1] as usize];
-                    let id = match interner.get(ports) {
-                        Some(&id) => id,
-                        None => {
-                            let id = u32::try_from(table.row_off.len() - 1).ok()?;
-                            table.row_ports.extend_from_slice(ports);
-                            table
-                                .row_off
-                                .push(u32::try_from(table.row_ports.len()).ok()?);
-                            interner.insert(ports.to_vec(), id);
-                            id
-                        }
-                    };
-                    global_of_local.push(id);
-                }
-                for (start, local) in sr.starts.iter().zip(&sr.rows) {
-                    table.runs_start.push(*start);
-                    table.runs_row.push(global_of_local[*local as usize]);
-                }
-                table
-                    .col_off
-                    .push(u32::try_from(table.runs_start.len()).ok()?);
+                stitch_switch(&mut table, &mut interner, &sr)?;
                 if table.bytes() > budget {
                     return None;
                 }
@@ -462,18 +635,203 @@ impl<'a, O: RoutingOracle + Sync> Simulation<'a, O> {
         Some(table)
     }
 
+    /// Region-scoped table repair: rebuilds only the `dirty` switches'
+    /// runs against the (already repaired) `oracle`, reuses every clean
+    /// switch's runs from `old`, and re-canonicalizes the shared row
+    /// pool in the same first-appearance order a fresh
+    /// [`Simulation::build_table`] would produce — so the result is
+    /// byte-identical to a from-scratch build over the new oracle.
+    ///
+    /// `index` must be the content → id map of `old`'s row pool (built
+    /// by [`row_index`], then carried between patches); on success it is
+    /// renumbered in place to describe the returned table.
+    ///
+    /// Returns `None` on budget/overflow exhaustion, the same live-query
+    /// fallback as the full build (`index` is left untouched — stale,
+    /// but the caller stops patching once it falls back to live).
+    pub(crate) fn patch_table(
+        net: &SimNetwork,
+        oracle: &O,
+        old: &RleTable,
+        scope: &PatchScope<'_>,
+        budget: usize,
+        index: &mut RowInterner,
+    ) -> Option<RleTable> {
+        if budget == 0 {
+            return None;
+        }
+        let dst32 = vid(old.dst_space);
+        let old_rows = old.row_off.len() - 1;
+        let old_ports =
+            |r: usize| &old.row_ports[old.row_off[r] as usize..old.row_off[r + 1] as usize];
+        // Old row id → id in the rebuilt pool, assigned lazily in the
+        // new scan's first-appearance order (`u32::MAX` = unseen; real
+        // ids stay far below it under any byte budget). Rows of clean
+        // switches renumber through this array alone — one indexed load
+        // per run — which is what makes a patch an order of magnitude
+        // cheaper than re-interning every row by content.
+        let mut old_to_new: Vec<u32> = vec![u32::MAX; old_rows];
+        // Contents the old pool has never held (dirty switches only).
+        let mut fresh: RowInterner = RowInterner::new();
+        let mut table = empty_table(old.dst_space);
+        // A single-event patch shifts sizes by at most a few rows; old's
+        // footprint is the right capacity to within a reallocation.
+        table.runs_start.reserve(old.runs_start.len() + 8);
+        table.runs_row.reserve(old.runs_row.len() + 8);
+        table.row_ports.reserve(old.row_ports.len() + 64);
+        table.row_off.reserve(old.row_off.len() + 8);
+        table.col_off.reserve(old.col_off.len());
+        // `scope.dirty` arrives sorted and deduplicated (`RepairScope`
+        // collects from a set), so one cursor tracks it in switch order.
+        // All dirty-switch work reuses one set of scratch buffers.
+        let mut scratch = SwitchRuns::empty();
+        let mut hops: Vec<u32> = Vec::new();
+        let mut resolved: Vec<u32> = Vec::new();
+        let mut global_of_local: Vec<u32> = Vec::new();
+        let mut next_dirty = 0usize;
+        for switch in 0..net.num_switches() {
+            let is_dirty =
+                next_dirty < scope.dirty.len() && scope.dirty[next_dirty] as usize == switch;
+            if is_dirty {
+                next_dirty += 1;
+                let sw32 = vid(switch);
+                if scope.full.contains(&sw32) {
+                    switch_runs_into(net, oracle, sw32, dst32, &mut scratch, &mut resolved);
+                } else {
+                    splice_runs_into(
+                        net,
+                        oracle,
+                        old,
+                        sw32,
+                        scope.dst_delta,
+                        dst32,
+                        &mut scratch,
+                        &mut hops,
+                        &mut resolved,
+                    );
+                }
+                let sr = &scratch;
+                global_of_local.clear();
+                for r in 0..sr.local_off.len() - 1 {
+                    let ports =
+                        &sr.local_ports[sr.local_off[r] as usize..sr.local_off[r + 1] as usize];
+                    // A spliced row remembers which old row it came from
+                    // (`local_old`), skipping the content lookup; a
+                    // recomputed row usually reproduces a content the
+                    // old pool already holds, and `index` lets it rejoin
+                    // that identity instead of forking a duplicate.
+                    let known = sr.local_old[r];
+                    let id = if known != u32::MAX {
+                        let slot = &mut old_to_new[known as usize];
+                        if *slot == u32::MAX {
+                            *slot = append_row(&mut table, ports)?;
+                        }
+                        *slot
+                    } else if let Some(&old_id) = index.get(ports) {
+                        let slot = &mut old_to_new[old_id as usize];
+                        if *slot == u32::MAX {
+                            *slot = append_row(&mut table, ports)?;
+                        }
+                        *slot
+                    } else if let Some(&id) = fresh.get(ports) {
+                        id
+                    } else {
+                        let id = append_row(&mut table, ports)?;
+                        fresh.insert(ports.to_vec(), id);
+                        id
+                    };
+                    global_of_local.push(id);
+                }
+                for (start, local) in sr.starts.iter().zip(&sr.rows) {
+                    table.runs_start.push(*start);
+                    table.runs_row.push(global_of_local[*local as usize]);
+                }
+            } else {
+                // Clean switch: runs are unchanged, rows keep their old
+                // content identity and renumber at first encounter. Run
+                // order *is* local first-appearance order (push_run
+                // assigns local ids that way), so the ids land exactly
+                // where a fresh `stitch_switch` would put them.
+                let lo = old.col_off[switch] as usize;
+                let hi = old.col_off[switch + 1] as usize;
+                table.runs_start.extend_from_slice(&old.runs_start[lo..hi]);
+                for k in lo..hi {
+                    let old_id = old.runs_row[k] as usize;
+                    let id = if old_to_new[old_id] == u32::MAX {
+                        let id = append_row(&mut table, old_ports(old_id))?;
+                        old_to_new[old_id] = id;
+                        id
+                    } else {
+                        old_to_new[old_id]
+                    };
+                    table.runs_row.push(id);
+                }
+            }
+            table
+                .col_off
+                .push(u32::try_from(table.runs_start.len()).ok()?);
+            if table.bytes() > budget {
+                return None;
+            }
+        }
+        // Renumber the persistent index to the rebuilt pool: dropped
+        // rows (never re-encountered) leave, survivors take their new
+        // id, and brand-new contents join. No content is re-keyed, so
+        // this is O(rows) pointer work, not O(rows) allocations.
+        index.retain(|_, id| {
+            let new_id = old_to_new[*id as usize];
+            *id = new_id;
+            new_id != u32::MAX
+        });
+        // Insert the few new contents one by one — `BTreeMap::append`
+        // would bulk-rebuild the whole tree on every patch.
+        for (ports, id) in fresh {
+            index.insert(ports, id);
+        }
+        Some(table)
+    }
+
     /// Whether any route exists from `switch` toward `dst` — the cheap
-    /// injection-time pre-check.
+    /// injection-time pre-check. Takes the candidate/oracle pair
+    /// explicitly so churn runs can substitute per-shard repaired
+    /// copies (see [`crate::churn`]).
     #[inline]
-    fn has_route(&self, switch: u32, dst: u32, buf: &mut Vec<u32>) -> bool {
-        match &self.candidates {
+    fn has_route_with(
+        candidates: &Candidates,
+        oracle: &O,
+        switch: u32,
+        dst: u32,
+        buf: &mut Vec<u32>,
+    ) -> bool {
+        match candidates {
             Candidates::Table(table) => !table.row(switch, dst).is_empty(),
             Candidates::Live => {
                 buf.clear();
-                self.oracle.next_hops_into(switch, dst, buf);
+                oracle.next_hops_into(switch, dst, buf);
                 !buf.is_empty()
             }
         }
+    }
+
+    /// The candidate structure built at construction (shared by every
+    /// plain run; churn clones it per shard).
+    pub(crate) fn candidates(&self) -> &Candidates {
+        &self.candidates
+    }
+
+    /// The byte budget the candidate table was built under.
+    pub(crate) fn table_budget(&self) -> usize {
+        self.table_budget
+    }
+
+    /// The network this simulation runs on.
+    pub(crate) fn net(&self) -> &'a SimNetwork {
+        self.net
+    }
+
+    /// The routing oracle next hops come from.
+    pub(crate) fn oracle(&self) -> &'a O {
+        self.oracle
     }
 
     /// Logical bytes of the materialized candidate table, or `None` when
@@ -613,7 +971,7 @@ impl<'a, O: RoutingOracle + Sync> Simulation<'a, O> {
         let shard_count = shards.clamp(1, net.num_switches().max(1));
 
         let mut traffic_rng = SmallRng::seed_from_u64(rfc_parallel::child_seed(seed, 1));
-        let traffic = TrafficState::new(pattern, terminals, &mut traffic_rng);
+        let traffic = crate::traffic::build(pattern, terminals, cfg.total_cycles(), &mut traffic_rng);
         let streams = Streams::derive(seed);
         scratch.reset(net, &cfg, shard_count, streams.inj);
 
@@ -621,7 +979,7 @@ impl<'a, O: RoutingOracle + Sync> Simulation<'a, O> {
         // Skip-ahead denominator ln(1-p); see `geometric_gap` for the
         // p = 1 limit. Only used when p_gen > 0.
         let ctx = StepCtx {
-            traffic: &traffic,
+            traffic: &*traffic,
             streams,
             p_gen,
             ln_q: (1.0 - p_gen).ln(),
@@ -632,11 +990,7 @@ impl<'a, O: RoutingOracle + Sync> Simulation<'a, O> {
         let end = ctx.end;
 
         let RunScratch {
-            plan,
-            shard_states,
-            merge_buf,
-            latency_samples,
-            busy_global,
+            plan, shard_states, ..
         } = scratch;
         let plan: &ShardPlan = plan;
 
@@ -644,12 +998,10 @@ impl<'a, O: RoutingOracle + Sync> Simulation<'a, O> {
             // No mailboxes, no barriers: every port is local.
             let st = &mut shard_states[0];
             for now in 0..end {
-                self.step_shard(plan, 0, st, &[], &ctx, now);
+                self.step_shard_with(&self.candidates, self.oracle, plan, 0, st, &[], &ctx, now);
             }
         } else {
-            let mut mailboxes: Vec<Mutex<Vec<ShardMsg>>> =
-                Vec::with_capacity(shard_count * shard_count);
-            mailboxes.resize_with(shard_count * shard_count, || Mutex::new(Vec::new()));
+            let mailboxes = new_mailboxes(shard_count * shard_count);
             let mailboxes = &mailboxes[..];
             let barrier = rfc_parallel::SpinBarrier::new(shard_count);
             let barrier = &barrier;
@@ -660,7 +1012,16 @@ impl<'a, O: RoutingOracle + Sync> Simulation<'a, O> {
                 // instead of spinning on a generation that never comes.
                 let _poison = barrier.guard();
                 for now in 0..end {
-                    self.step_shard(plan, me, st, mailboxes, ctx, now);
+                    self.step_shard_with(
+                        &self.candidates,
+                        self.oracle,
+                        plan,
+                        me,
+                        st,
+                        mailboxes,
+                        ctx,
+                        now,
+                    );
                     // All sends for this cycle are in the mailboxes…
                     barrier.wait();
                     drain_mailboxes(plan, me, st, mailboxes, v);
@@ -670,6 +1031,28 @@ impl<'a, O: RoutingOracle + Sync> Simulation<'a, O> {
                 }
             });
         }
+
+        self.merge_stats(offered_load, scratch)
+    }
+
+    /// Merges per-shard statistics (in fixed shard order) into the run
+    /// result and port probes. Shared by the plain run path and the
+    /// churn runner ([`crate::churn`]).
+    pub(crate) fn merge_stats(
+        &self,
+        offered_load: f64,
+        scratch: &mut RunScratch,
+    ) -> (SimResult, crate::stats::PortUtilization) {
+        let cfg = self.config;
+        let net = self.net;
+        let terminals = net.num_terminals();
+        let RunScratch {
+            plan,
+            shard_states,
+            merge_buf,
+            latency_samples,
+            busy_global,
+        } = scratch;
 
         // Merge in fixed shard order: plain sums for the counters, a
         // sort-and-truncate for the bottom-R reservoirs (the global
@@ -747,13 +1130,19 @@ impl<'a, O: RoutingOracle + Sync> Simulation<'a, O> {
     /// move packets. Cross-shard effects (arrivals at ports owned
     /// elsewhere, credits for buffers fed from elsewhere) go to the
     /// mailboxes; everything else stays in `st`.
-    #[allow(clippy::too_many_lines)]
-    fn step_shard(
+    ///
+    /// The candidate/oracle pair is a parameter (rather than read from
+    /// `self`) so churn runs can substitute per-shard repaired copies;
+    /// plain runs pass `(&self.candidates, self.oracle)`.
+    #[allow(clippy::too_many_lines, clippy::too_many_arguments)]
+    pub(crate) fn step_shard_with(
         &self,
+        candidates: &Candidates,
+        oracle: &O,
         plan: &ShardPlan,
         me: usize,
         st: &mut ShardState,
-        mailboxes: &[Mutex<Vec<ShardMsg>>],
+        mailboxes: &[MailboxCell],
         ctx: &StepCtx<'_>,
         now: u64,
     ) {
@@ -860,7 +1249,7 @@ impl<'a, O: RoutingOracle + Sync> Simulation<'a, O> {
                 while t < group.len() {
                     let src = group[t];
                     'inject: {
-                        let Some(dst) = ctx.traffic.dest(src, rng) else {
+                        let Some(dst) = ctx.traffic.dest(src, now, rng) else {
                             break 'inject;
                         };
                         let dst_switch = dst_switch_of_terminal[dst as usize];
@@ -884,7 +1273,13 @@ impl<'a, O: RoutingOracle + Sync> Simulation<'a, O> {
                             dst_switch
                         };
                         if src_switch != first_target
-                            && !self.has_route(src_switch, first_target, hop_buf)
+                            && !Self::has_route_with(
+                                candidates,
+                                oracle,
+                                src_switch,
+                                first_target,
+                                hop_buf,
+                            )
                         {
                             if in_window {
                                 *unroutable += 1;
@@ -893,7 +1288,13 @@ impl<'a, O: RoutingOracle + Sync> Simulation<'a, O> {
                         }
                         if via_switch != NO_VIA
                             && via_switch != dst_switch
-                            && !self.has_route(via_switch, dst_switch, hop_buf)
+                            && !Self::has_route_with(
+                                candidates,
+                                oracle,
+                                via_switch,
+                                dst_switch,
+                                hop_buf,
+                            )
                         {
                             if in_window {
                                 *unroutable += 1;
@@ -1003,7 +1404,7 @@ impl<'a, O: RoutingOracle + Sync> Simulation<'a, O> {
                 // One draw serves both decisions: low half picks the
                 // candidate, high half starts the target-VC rotation.
                 let h = draw(ctx.streams.dec, now, u64::from(gid));
-                let out = match &self.candidates {
+                let out = match candidates {
                     Candidates::Table(table) => {
                         let ports = table.row(switch, routing_target);
                         if ports.is_empty() {
@@ -1038,7 +1439,7 @@ impl<'a, O: RoutingOracle + Sync> Simulation<'a, O> {
                     }
                     Candidates::Live => {
                         hop_buf.clear();
-                        self.oracle.next_hops_into(switch, routing_target, hop_buf);
+                        oracle.next_hops_into(switch, routing_target, hop_buf);
                         if hop_buf.is_empty() {
                             i += 1;
                             continue;

@@ -49,6 +49,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod churn;
 mod config;
 mod engine;
 mod network;
@@ -56,8 +57,9 @@ mod shard;
 mod stats;
 mod traffic;
 
+pub use churn::{ChurnResult, FaultSchedule, RepairBenchmark};
 pub use config::{RequestMode, SimConfig};
 pub use engine::{RunScratch, Simulation};
 pub use network::SimNetwork;
 pub use stats::{PortUtilization, SimResult};
-pub use traffic::TrafficPattern;
+pub use traffic::{TrafficModel, TrafficPattern};

@@ -195,13 +195,24 @@ pub(crate) enum ShardMsg {
     Credit { at: u64, out_port: u32, vc: u8 },
 }
 
-/// Appends to a mailbox. Each mailbox has exactly one producer (its
-/// source shard, during the step phase) and one consumer (its target
-/// shard, during the drain phase, after a barrier), so the lock is
-/// uncontended by construction; poison can only be residue of a panic
-/// elsewhere and is recovered rather than cascaded.
+/// One cross-shard mailbox: a locked message queue with exactly one
+/// producer (its source shard, during the step phase) and one consumer
+/// (its target shard, during the drain phase, after a barrier).
+pub(crate) type MailboxCell = Mutex<Vec<ShardMsg>>;
+
+/// Allocates the `shards × shards` mailbox matrix every sharded run
+/// communicates through.
+pub(crate) fn new_mailboxes(cells: usize) -> Vec<MailboxCell> {
+    let mut mailboxes: Vec<MailboxCell> = Vec::with_capacity(cells);
+    mailboxes.resize_with(cells, || MailboxCell::new(Vec::new()));
+    mailboxes
+}
+
+/// Appends to a mailbox. The lock is uncontended by construction (see
+/// [`MailboxCell`]); poison can only be residue of a panic elsewhere
+/// and is recovered rather than cascaded.
 #[inline]
-pub(crate) fn mailbox_push(mailboxes: &[Mutex<Vec<ShardMsg>>], idx: usize, msg: ShardMsg) {
+pub(crate) fn mailbox_push(mailboxes: &[MailboxCell], idx: usize, msg: ShardMsg) {
     mailboxes[idx]
         .lock()
         .unwrap_or_else(std::sync::PoisonError::into_inner)
@@ -545,7 +556,7 @@ pub(crate) fn drain_mailboxes(
     plan: &ShardPlan,
     me: usize,
     st: &mut ShardState,
-    mailboxes: &[Mutex<Vec<ShardMsg>>],
+    mailboxes: &[MailboxCell],
     v: usize,
 ) {
     // xtask: hot-loop-begin — the per-cycle drain must stay allocation-free

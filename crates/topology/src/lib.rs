@@ -48,6 +48,7 @@ mod cft;
 mod error;
 pub mod expansion;
 mod folded_clos;
+mod live;
 mod network;
 mod oft;
 mod rfc;
@@ -56,5 +57,6 @@ mod xgft;
 
 pub use error::TopologyError;
 pub use folded_clos::{CloKind, FoldedClos, Link};
+pub use live::{LinkEvent, LinkEventKind, LiveClos};
 pub use network::Network;
 pub use rrn::Rrn;
